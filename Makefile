@@ -1,0 +1,27 @@
+# Convenience targets for the nucleus-decomposition reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench benchmarks examples experiments lint clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+experiments:
+	$(PYTHON) tools/generate_experiments.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,35 @@
+"""Figure 7: graph sizes, peeling complexity rho(r,s), max (r,s)-cores.
+
+Regenerates the right-hand table of the paper's Figure 7 on the surrogate
+datasets: for each graph and each feasible (r,s) pair, the number of
+peeling rounds and the maximum core number.
+"""
+
+from repro.experiments.figures import fig07
+
+
+def test_fig07_graph_statistics(figure):
+    result = figure(fig07)
+    by_graph = {row["graph"]: row for row in result.rows}
+
+    # Sizes are positive and ordered like the paper's suite.
+    assert by_graph["friendster"]["m"] > by_graph["youtube"]["m"]
+
+    for row in result.rows:
+        for key, value in row.items():
+            if key.startswith("rho"):
+                # rho = 0 only when the graph has no r-cliques at all
+                # (possible for large (r,s) on the sparsest surrogates).
+                assert value >= 0
+            if key.startswith("max"):
+                assert value >= 0
+        assert row["rho(1,2)"] >= 1 and row["rho(2,3)"] >= 1
+        # Peeling at least one r-clique per round: rho is sane.
+        assert row["rho(2,3)"] <= row["m"]
+        # The (1,2) max core (degeneracy) bounds nothing below zero.
+        assert row["max(1,2)"] >= 1
+
+    # dblp's planted co-author cliques give it the standout core numbers,
+    # mirroring the paper's dblp column.
+    assert by_graph["dblp"]["max(2,3)"] >= \
+        by_graph["amazon"]["max(2,3)"]

@@ -1,0 +1,39 @@
+"""Figure 8: T-layout optimization speedups and space savings for (3,4).
+
+Sweeps the table-layout combinations (levels x contiguity x inverse map)
+against the one-level baseline, with the cache simulator attached, printing
+both the speedup series (Figure 8 left) and the space-saving series
+(Figure 8 right).  friendster is omitted, as in the paper (OOM there).
+"""
+
+from repro.experiments.figures import fig08
+from repro.experiments.harness import geometric_mean
+
+GRAPHS = ["amazon", "dblp", "youtube", "skitter", "livejournal", "orkut"]
+
+
+def test_fig08_t_optimizations_34(figure):
+    result = figure(fig08, graphs=GRAPHS)
+    by_combo: dict[str, list[dict]] = {}
+    for row in result.rows:
+        by_combo.setdefault(row["combo"], []).append(row)
+
+    # Space: every two-level/multi-level layout saves memory on the
+    # mid-size-and-up graphs (paper: up to 2.15x for (3,4)).
+    for combo, rows in by_combo.items():
+        if combo == "one-level":
+            continue
+        larger = [r for r in rows if r["graph"] not in ("amazon",)]
+        assert all(r["space_saving"] > 1.0 for r in larger), combo
+
+    # Speed: the paper's chosen combo (two-level/contig/stored) is at
+    # worst comparable to one-level on every graph, and wins on average.
+    chosen = by_combo["2-level/contig/stored"]
+    assert all(r["speedup"] > 0.9 for r in chosen)
+    assert geometric_mean([r["speedup"] for r in chosen]) >= 1.0
+
+    # Locality: layered layouts lower the T miss rate on the larger graphs.
+    one_level = {r["graph"]: r for r in by_combo["one-level"]}
+    for row in by_combo["2-level/contig/binsearch"]:
+        if row["graph"] in ("skitter", "livejournal"):
+            assert row["miss_rate"] <= one_level[row["graph"]]["miss_rate"]

@@ -1,0 +1,82 @@
+"""Figure 12: every competitor versus parallel ARB-NUCLEUS-DECOMP.
+
+Reruns the paper's headline comparison for (2,3) and (3,4) on all seven
+surrogates: slowdowns of serial ARB, ND, PND, AND, AND-NN, and (for (2,3))
+PKT, PKT-OPT-CPU, and MSP, plus the Section 6.3 counters (s-clique visit
+ratios, peeling-round ratios).  Rows the paper reports as OOM are marked,
+not run (see repro.experiments.harness.PAPER_OMISSIONS).
+"""
+
+from repro.experiments.figures import fig12
+
+GRAPHS = ["amazon", "dblp", "youtube", "skitter", "livejournal", "orkut",
+          "friendster"]
+
+
+def collect(rows, algorithm, field="slowdown"):
+    return [row[field] for row in rows
+            if row["algorithm"] == algorithm and field in row]
+
+
+def test_fig12_23_baselines(figure):
+    result = figure(fig12, graphs=GRAPHS, rs_list=[(2, 3)])
+    rows = result.rows
+    from repro.experiments.harness import headline_statistics
+    print("Headline ranges (cf. the paper's abstract):")
+    for label, (lo, hi) in headline_statistics(rows).items():
+        print(f"  {label}: {lo:.2f}x - {hi:.2f}x")
+
+    # Work-inefficient competitors lose decisively (paper: ND 8.2-58x,
+    # PND 3.8-55x, AND 1.3-60x over the best graphs).
+    assert all(s > 3 for s in collect(rows, "ND"))
+    assert all(s > 1.5 for s in collect(rows, "PND"))
+    assert all(s > 1.0 for s in collect(rows, "AND"))
+
+    # ARB's own self-relative speedups (paper: 3.31-40.14x).
+    speedups = collect(rows, "ARB", "self_speedup")
+    assert all(3 < s <= 45 for s in speedups)
+
+    # PKT loses everywhere (paper: ARB 1.07-2.88x faster); PKT-OPT-CPU
+    # wins on the larger graphs (paper: up to 2.27x) -- the crossover.
+    assert all(s > 1.0 for s in collect(rows, "PKT"))
+    opt = {row["graph"]: row["slowdown"] for row in rows
+           if row["algorithm"] == "PKT-OPT-CPU"}
+    assert opt["livejournal"] < 1.0 and opt["orkut"] < 1.0
+    assert opt["amazon"] > 0.9  # small graphs: roughly even or ARB ahead
+
+    # MSP is the slowest truss family member on the large graphs.
+    msp = {row["graph"]: row["slowdown"] for row in rows
+           if row["algorithm"] == "MSP" and "slowdown" in row}
+    assert all(msp[g] > opt[g] for g in msp if g in opt)
+
+    # Section 6.3 counters: AND re-discovers s-cliques many times over
+    # (paper: 1.69-46x, median ~15x); notification reduces it.
+    and_ratio = collect(rows, "AND", "visit_ratio")
+    nn_ratio = collect(rows, "AND-NN", "visit_ratio")
+    assert all(v > 1.0 for v in and_ratio)
+    assert max(nn_ratio) < max(and_ratio)
+
+    # PND performs orders of magnitude more rounds (paper: 5608-84170x).
+    assert all(v > 50 for v in collect(rows, "PND", "round_ratio"))
+
+    # Paper-reported OOMs are surfaced as notes, not silently skipped.
+    noted = {(row["graph"], row["algorithm"]) for row in rows
+             if row.get("note")}
+    assert ("friendster", "PND") in noted
+    assert ("skitter", "AND-NN") in noted
+
+
+def test_fig12_34_baselines(figure):
+    result = figure(fig12, graphs=GRAPHS, rs_list=[(3, 4)])
+    rows = result.rows
+    assert all(s > 3 for s in collect(rows, "ND"))
+    assert all(s > 1.0 for s in collect(rows, "AND"))
+    # AND re-discovers s-cliques every sweep; on the tiniest surrogates it
+    # converges in ~3 sweeps so the ratio can dip toward 1, but it exceeds
+    # 1 wherever convergence takes real work (paper: 1.69-46x).
+    ratios = collect(rows, "AND", "visit_ratio")
+    assert all(v > 0.5 for v in ratios)
+    assert max(ratios) > 1.0
+    # friendster (3,4) is an ARB OOM row in the paper.
+    assert any(row["graph"] == "friendster" and row.get("note")
+               for row in rows if row["algorithm"] == "ARB")

@@ -1,0 +1,26 @@
+"""Figure 13: relative cost of each (r,s) on each graph.
+
+For every feasible (r,s) with r < s <= 7 (excluding (2,3) and (3,4), which
+Figure 12 covers), the slowdown of parallel ARB-NUCLEUS-DECOMP over the
+fastest (r,s) on the same graph.
+"""
+
+from repro.experiments.figures import fig13
+
+GRAPHS = ["amazon", "dblp", "youtube", "skitter"]
+
+
+def test_fig13_rs_sweep(figure):
+    result = figure(fig13, graphs=GRAPHS)
+    assert result.rows, "sweep produced no rows"
+
+    for row in result.rows:
+        assert row["slowdown_vs_fastest"] >= 1.0 - 1e-9
+        assert row["rs"] not in ("(2,3)", "(3,4)")
+
+    # On every graph some (r,s) is substantially more expensive than the
+    # cheapest -- the spread the paper's Figure 13 displays.
+    for graph in GRAPHS:
+        spread = [row["slowdown_vs_fastest"] for row in result.rows
+                  if row["graph"] == graph]
+        assert max(spread) > 1.5

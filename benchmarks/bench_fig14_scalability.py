@@ -1,0 +1,32 @@
+"""Figure 14: self-relative speedup versus thread count.
+
+(2,3), (2,4), and (3,4) on the dblp, skitter, and livejournal surrogates,
+evaluated on the simulated 30-core (60 hyper-thread) machine at 1..60
+threads.  The paper's curves are near-linear up to the physical core count
+and flatten across the hyper-threading region; the model reproduces both.
+"""
+
+from repro.experiments.figures import fig14
+
+GRAPHS = ["dblp", "skitter", "livejournal"]
+RS = [(2, 3), (2, 4), (3, 4)]
+THREADS = [1, 2, 4, 8, 16, 30, 60]
+
+
+def test_fig14_scalability(figure):
+    result = figure(fig14, graphs=GRAPHS, rs_list=RS,
+                    thread_counts=THREADS)
+    for row in result.rows:
+        speedups = [row[f"S{p}"] for p in THREADS]
+        # Monotone scaling, near-linear at low thread counts.
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+        assert row["S2"] > 1.5
+        # Overall self-relative speedup in the paper's 3.31-40.14x band.
+        assert 3.0 < row["S60"] <= 45.0
+        # Hyper-threads yield less than physical cores: the 30->60 gain is
+        # far below 2x.
+        assert row["S60"] / row["S30"] < 1.6
+
+    # Larger graphs scale better (more work to amortize each barrier).
+    s60 = {(row["graph"], row["rs"]): row["S60"] for row in result.rows}
+    assert s60[("livejournal", "(2,3)")] > s60[("dblp", "(2,3)")]

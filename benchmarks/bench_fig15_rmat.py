@@ -1,0 +1,42 @@
+"""Figure 15: running times on rMAT graphs of varying size and density.
+
+(2,3), (3,4), and (4,5) on rMAT graphs with the paper's parameters
+(a=0.5, b=c=0.1, d=0.3, duplicate edges removed) across a size and
+edge-factor sweep.  The paper's observation: running time scales with the
+number of s-cliques, which grows with density.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig15
+
+SCALES = [8, 9, 10, 11]
+EDGE_FACTORS = [4, 8, 16]
+RS = [(2, 3), (3, 4), (4, 5)]
+
+
+def test_fig15_rmat_scaling(figure):
+    result = figure(fig15, scales=SCALES, edge_factors=EDGE_FACTORS,
+                    rs_list=RS)
+    rows = result.rows
+    assert len(rows) == len(SCALES) * len(EDGE_FACTORS)
+
+    # Time grows with graph scale at fixed edge factor.
+    for ef in EDGE_FACTORS:
+        series = [row["T(2,3)"] for row in rows if row["edge_factor"] == ef]
+        assert series[-1] > series[0]
+
+    # Time grows with density at fixed scale (the paper's density sweep).
+    for scale in SCALES:
+        series = [row["T(2,3)"] for row in rows if row["scale"] == scale]
+        assert series == sorted(series)
+
+    # Running time tracks the s-clique count (paper Section 6.3): the
+    # correlation across the sweep is strongly positive.
+    times = np.array([row["T(3,4)"] for row in rows])
+    cliques = np.array([row["n_s(3,4)"] for row in rows], dtype=float)
+    mask = cliques > 0
+    if mask.sum() > 3:
+        corr = np.corrcoef(np.log(times[mask]),
+                           np.log(cliques[mask] + 1))[0, 1]
+        assert corr > 0.6

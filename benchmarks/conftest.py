@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark runs one figure driver exactly once (``pedantic`` with one
+round: the drivers are deterministic simulations, so repeated timing adds
+nothing), prints the paper-style table it produces, and asserts the
+qualitative shape the paper reports.
+
+Run the full suite with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_figure(benchmark, driver, **kwargs):
+    """Execute a figure driver once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(lambda: driver(**kwargs), rounds=1,
+                                iterations=1)
+    print()
+    print(result.show())
+    return result
+
+
+@pytest.fixture
+def figure(benchmark):
+    def _run(driver, **kwargs):
+        return run_figure(benchmark, driver, **kwargs)
+    return _run

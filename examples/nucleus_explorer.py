@@ -1,0 +1,108 @@
+"""Exploring a graph's nucleus structure across (r,s) values.
+
+Uses the analysis toolkit on one dataset to answer the questions an
+analyst actually asks after a decomposition:
+
+* how fast does the subgraph densify as the core level rises
+  (``density_profile``)?
+* how many r-cliques survive at each level (``core_spectrum``)?
+* do different (r,s) choices agree about where the dense region is
+  (``overlap_matrix``)?
+* is a deeper s feasible before running it (sampling-based clique-count
+  estimation, after Eden et al.)?
+
+Run with:  python examples/nucleus_explorer.py
+"""
+
+from repro import arb_nucleus_decomp, load_dataset
+from repro.analysis import core_spectrum, density_profile, overlap_matrix
+from repro.cliques.approx import approximate_clique_count
+
+RS_CHOICES = [(1, 2), (2, 3), (2, 4), (3, 4)]
+
+
+def _mixed_structure_graph():
+    """Sparse background + a dense bipartite block + a planted clique."""
+    import numpy as np
+
+    from repro import CSRGraph
+    from repro.graph.generators import erdos_renyi
+
+    rng = np.random.default_rng(3)
+    base = erdos_renyi(200, 400, seed=3)
+    edges = [tuple(e) for e in base.edges()]
+    for u in range(100, 135):  # bipartite block: high degree, no triangles
+        for v in range(135, 170):
+            if rng.random() < 0.6:
+                edges.append((u, v))
+    clique = range(10, 22)  # the genuinely clique-dense region
+    for i, u in enumerate(clique):
+        for v in list(clique)[i + 1:]:
+            edges.append((u, v))
+    return CSRGraph.from_edges(200, edges)
+
+
+def main() -> None:
+    graph = load_dataset("dblp")
+    print(f"dblp surrogate: n={graph.n}, m={graph.m}\n")
+
+    print("== feasibility: estimated clique counts (20% edge sample) ==")
+    for c in (3, 4, 5):
+        estimate = approximate_clique_count(graph, c, sample_fraction=0.2)
+        print(f"  ~{estimate.estimate:10.0f} {c}-cliques "
+              f"(from {estimate.samples} sampled edges)")
+
+    results = []
+    for r, s in RS_CHOICES:
+        results.append(arb_nucleus_decomp(graph, r, s))
+
+    print("\n== densification along the (2,3) peeling ==")
+    truss = results[1]
+    print(f"  {'level':>5}  {'vertices':>8}  {'edges':>6}  {'density':>8}")
+    for row in density_profile(graph, truss):
+        print(f"  {row['level']:>5}  {row['vertices']:>8}  "
+              f"{row['edges']:>6}  {row['density']:>8.3f}")
+
+    print("\n== survivors per level, (3,4) ==")
+    spectrum = core_spectrum(results[3])
+    for level, count in spectrum.items():
+        bar = "#" * max(1, count * 40 // max(spectrum.values()))
+        print(f"  core >= {level}: {count:6d} {bar}")
+
+    print("\n== agreement of top-level regions across (r,s) ==")
+    # On a graph with a high-degree but triangle-poor region, the shallow
+    # decompositions disagree with the deep ones about where the "dense"
+    # part is; dblp's planted cliques dominate everything equally, so use
+    # a mixed graph for this comparison.
+    mixed = _mixed_structure_graph()
+    print(f"  (on a mixed graph: n={mixed.n}, m={mixed.m}, with a dense "
+          f"bipartite block and a planted clique)")
+    results = [arb_nucleus_decomp(mixed, r, s) for r, s in RS_CHOICES]
+    matrix = overlap_matrix(results)
+    labels = [f"({r},{s})" for r, s in RS_CHOICES]
+    print("        " + "  ".join(f"{lab:>6}" for lab in labels))
+    for label, row in zip(labels, matrix):
+        cells = "  ".join(f"{value:6.2f}" for value in row)
+        print(f"  {label:>6}{cells}")
+    print("\nHigh off-diagonal overlap means those (r,s) find the same")
+    print("dense region; low overlap means the deeper decomposition is")
+    print("isolating structure the shallower one cannot see.")
+
+    print("\n== connectivity-refined hierarchy (3,4) on the mixed graph ==")
+    # The original nucleus definition additionally splits each level into
+    # s-clique-connected components (paper Section 3, footnote 2); the
+    # analysis package provides that refinement as post-processing.
+    from repro.analysis import build_hierarchy
+
+    hierarchy = build_hierarchy(mixed, results[3])
+    for level in sorted({n.level for n in hierarchy.nuclei}):
+        nuclei = hierarchy.at_level(level)
+        sizes = sorted((n.size for n in nuclei), reverse=True)
+        print(f"  level {level}: {len(nuclei)} connected "
+              f"{'nucleus' if len(nuclei) == 1 else 'nuclei'} "
+              f"(triangle counts: {sizes[:6]}"
+              f"{' ...' if len(sizes) > 6 else ''})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro: a Python reproduction of "Theoretically and Practically Efficient
+Parallel Nucleus Decomposition" (Shi, Dhulipala, Shun; VLDB 2021).
+
+Quickstart::
+
+    from repro import load_dataset, arb_nucleus_decomp
+
+    graph = load_dataset("dblp")
+    result = arb_nucleus_decomp(graph, r=2, s=3)   # k-truss-style peeling
+    print(result.max_core, result.rho)
+    cores = result.as_dict()                        # edge -> trussness
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .core.config import NucleusConfig
+from .core.decomp import NucleusResult, arb_nucleus_decomp
+from .core.verify import brute_force_kcore, brute_force_ktruss, brute_force_nucleus
+from .graph.csr import CSRGraph, DirectedGraph
+from .graph.datasets import DATASETS, dataset_names, load_dataset
+from .graph.generators import (erdos_renyi, figure1_graph, planted_partition,
+                               rmat_graph)
+from .graph.io import read_edge_list, write_edge_list
+from .parallel.runtime import CostTracker, MachineModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arb_nucleus_decomp", "NucleusResult", "NucleusConfig",
+    "CSRGraph", "DirectedGraph",
+    "load_dataset", "dataset_names", "DATASETS",
+    "rmat_graph", "erdos_renyi", "planted_partition", "figure1_graph",
+    "read_edge_list", "write_edge_list",
+    "CostTracker", "MachineModel",
+    "brute_force_nucleus", "brute_force_kcore", "brute_force_ktruss",
+    "__version__",
+]

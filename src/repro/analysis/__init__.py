@@ -1,0 +1,19 @@
+"""Post-decomposition analysis: navigating and measuring nuclei.
+
+Tools a downstream user applies to a
+:class:`~repro.core.decomp.NucleusResult`: extracting the subgraph of a
+given core level, measuring nucleus density, comparing decompositions
+across (r,s), and exporting results.
+"""
+
+from .hierarchy import Nucleus, NucleusHierarchy, build_hierarchy
+from .nuclei import (core_level_subgraph, core_spectrum, density_profile,
+                     nucleus_members, overlap_matrix)
+from .serialize import (load_result_json, result_to_records, save_result_json)
+
+__all__ = [
+    "core_level_subgraph", "nucleus_members", "core_spectrum",
+    "density_profile", "overlap_matrix",
+    "save_result_json", "load_result_json", "result_to_records",
+    "build_hierarchy", "Nucleus", "NucleusHierarchy",
+]

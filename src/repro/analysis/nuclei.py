@@ -1,0 +1,94 @@
+"""Navigating nucleus decompositions: subgraphs, spectra, densities.
+
+The decomposition assigns each r-clique a core number; these helpers turn
+that labeling into the objects analysts actually inspect --- the subgraph
+at a level, the vertex set of the densest region, per-level densities, and
+cross-decomposition comparisons.
+
+(Partitioning a level into *connected* nuclei via s-clique connectivity is
+the hierarchy problem the paper explicitly scopes out; these utilities work
+with the union-at-a-level instead, like the paper's algorithm.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.decomp import NucleusResult
+from ..graph.csr import CSRGraph
+
+
+def nucleus_members(result: NucleusResult, level: int) -> set[int]:
+    """Vertices of r-cliques whose core number is at least ``level``."""
+    return {v for clique, core in result.as_dict().items()
+            if core >= level for v in clique}
+
+
+def core_level_subgraph(graph: CSRGraph, result: NucleusResult,
+                        level: int) -> tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by the level's member vertices.
+
+    Returns ``(subgraph, originals)`` with ``originals[i]`` the input id of
+    subgraph vertex ``i``.
+    """
+    members = nucleus_members(result, level)
+    if not members:
+        return CSRGraph.from_edges(1, []), np.zeros(0, dtype=np.int64)
+    return graph.induced_subgraph(sorted(members))
+
+
+def core_spectrum(result: NucleusResult) -> dict[int, int]:
+    """r-cliques per core level, cumulative from above.
+
+    ``spectrum[c]`` counts r-cliques with core >= c --- the size of the
+    level-c union-nucleus.
+    """
+    histogram = result.core_histogram()
+    spectrum: dict[int, int] = {}
+    running = 0
+    for level in sorted(histogram, reverse=True):
+        running += histogram[level]
+        spectrum[level] = running
+    return dict(sorted(spectrum.items()))
+
+
+def density_profile(graph: CSRGraph, result: NucleusResult) -> list[dict]:
+    """Edge density of each level's induced subgraph.
+
+    One record per core level: vertex count, edge count, and density
+    ``2m / (n (n-1))`` of the induced subgraph --- the monotone densification
+    that makes nuclei useful for dense-substructure discovery.
+    """
+    profile = []
+    for level in sorted(set(result.core_histogram())):
+        sub, originals = core_level_subgraph(graph, result, level)
+        n, m = sub.n, sub.m
+        density = 2.0 * m / (n * (n - 1)) if n > 1 else 0.0
+        profile.append({"level": level, "vertices": int(originals.size),
+                        "edges": m, "density": density})
+    return profile
+
+
+def overlap_matrix(results: list[NucleusResult],
+                   level_fraction: float = 1.0) -> np.ndarray:
+    """Jaccard overlap of top-level vertex sets across decompositions.
+
+    For each result, takes the vertices at core >= ``level_fraction *
+    max_core`` and returns the pairwise Jaccard similarity matrix ---
+    quantifying how much the (r,s) choices agree about where the dense
+    region is (cf. the paper's motivation that different (r,s) capture
+    different structures).
+    """
+    tops = []
+    for result in results:
+        threshold = int(np.ceil(level_fraction * result.max_core))
+        tops.append(nucleus_members(result, threshold))
+    k = len(tops)
+    matrix = np.eye(k)
+    for i in range(k):
+        for j in range(i + 1, k):
+            union = tops[i] | tops[j]
+            inter = tops[i] & tops[j]
+            value = len(inter) / len(union) if union else 1.0
+            matrix[i, j] = matrix[j, i] = value
+    return matrix

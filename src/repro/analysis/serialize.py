@@ -1,0 +1,50 @@
+"""Serializing decomposition results.
+
+JSON round-tripping for :class:`~repro.core.decomp.NucleusResult` outputs
+(core numbers plus run metadata), and a flat-record view convenient for
+DataFrame-style consumers.  The tracker and table internals are not
+serialized --- only the answer and its summary statistics.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.decomp import NucleusResult
+
+
+def result_to_records(result: NucleusResult) -> list[dict]:
+    """One flat record per r-clique: vertices plus core number."""
+    return [{"clique": list(clique), "core": core}
+            for clique, core in sorted(result.as_dict().items())]
+
+
+def save_result_json(result: NucleusResult, path) -> None:
+    """Write the decomposition (cores + metadata) as JSON."""
+    payload = {
+        "r": result.r,
+        "s": result.s,
+        "n_r_cliques": result.n_r_cliques,
+        "n_s_cliques": result.n_s_cliques,
+        "rho": result.rho,
+        "max_core": result.max_core,
+        "table_memory_units": result.table_memory_units,
+        "stats": result.tracker.summary(),
+        "cores": [[list(clique), core]
+                  for clique, core in sorted(result.as_dict().items())],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_result_json(path) -> dict:
+    """Load a saved decomposition.
+
+    Returns a dict with the saved metadata plus ``cores`` as a mapping
+    from vertex tuples to core numbers (the natural Python form).
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    payload["cores"] = {tuple(clique): core
+                        for clique, core in payload["cores"]}
+    return payload

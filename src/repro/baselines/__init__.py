@@ -1,0 +1,28 @@
+"""Reimplementations of every competitor the paper evaluates against.
+
+* :func:`~repro.baselines.nd.nd_decomposition` -- Sariyuce et al.'s serial ND;
+* :func:`~repro.baselines.nd.pnd_decomposition` -- their parallel PND
+  (sequential peeling within count classes);
+* :func:`~repro.baselines.local.and_decomposition` /
+  :func:`~repro.baselines.local.and_nn_decomposition` -- the asynchronous
+  local algorithms AND and AND-NN;
+* :func:`~repro.baselines.pkt.pkt_decomposition` /
+  :func:`~repro.baselines.pkt.pkt_opt_cpu_decomposition` -- the
+  (2,3)-specialized PKT family;
+* :func:`~repro.baselines.msp.msp_decomposition` -- the bulk-synchronous
+  MSP truss baseline.
+"""
+
+from .common import BaselineResult, Incidence, h_index
+from .local import and_decomposition, and_nn_decomposition
+from .msp import msp_decomposition
+from .nd import nd_decomposition, pnd_decomposition
+from .pkt import pkt_decomposition, pkt_opt_cpu_decomposition
+
+__all__ = [
+    "BaselineResult", "Incidence", "h_index",
+    "nd_decomposition", "pnd_decomposition",
+    "and_decomposition", "and_nn_decomposition",
+    "pkt_decomposition", "pkt_opt_cpu_decomposition",
+    "msp_decomposition",
+]

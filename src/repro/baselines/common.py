@@ -1,0 +1,85 @@
+"""Shared scaffolding for the baseline (competitor) implementations.
+
+Every baseline runs on the same graph substrate and charges the same
+:class:`~repro.parallel.runtime.CostTracker`, so Figure 12's comparisons
+come out of identical accounting.  The result record also carries each
+algorithm's *simulated memory footprint* --- the quantity that makes
+AND/AND-NN/PND run out of memory on the paper's large inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..cliques.listing import collect_cliques
+from ..cliques.orient import orient
+from ..graph.csr import CSRGraph
+from ..parallel.runtime import CostTracker
+
+
+@dataclass
+class BaselineResult:
+    """Output record shared by every baseline algorithm."""
+
+    name: str
+    r: int
+    s: int
+    core: dict[tuple[int, ...], int]
+    tracker: CostTracker
+    rounds: int
+    iterations: int
+    s_clique_visits: int  # total s-clique discoveries (paper Section 6.3)
+    memory_words: int  # simulated resident words of the algorithm's state
+
+
+class Incidence:
+    """Materialized r-clique / s-clique incidence.
+
+    ``r_cliques[i]`` is the i-th r-clique (ascending vertex tuple);
+    ``incident[i]`` lists the s-clique ids containing it; ``members[j]``
+    lists the r-clique ids inside s-clique ``j``.  ``words`` reports the
+    structure's size, charged to whichever algorithm stores it.
+    """
+
+    def __init__(self, graph: CSRGraph, r: int, s: int,
+                 tracker: CostTracker | None = None):
+        dg, _ = orient(graph, "degeneracy", tracker)
+        self.r_cliques = [tuple(sorted(int(x) for x in row))
+                          for row in collect_cliques(dg, r, tracker)]
+        self.index = {clique: i for i, clique in enumerate(self.r_cliques)}
+        s_rows = collect_cliques(dg, s, tracker)
+        self.n_s = s_rows.shape[0]
+        self.incident: list[list[int]] = [[] for _ in self.r_cliques]
+        self.members: list[list[int]] = []
+        for j, row in enumerate(s_rows):
+            big = tuple(sorted(int(x) for x in row))
+            ids = [self.index[sub] for sub in combinations(big, r)]
+            self.members.append(ids)
+            for i in ids:
+                self.incident[i].append(j)
+        self.initial_counts = np.asarray(
+            [len(lst) for lst in self.incident], dtype=np.int64)
+
+    @property
+    def n_r(self) -> int:
+        return len(self.r_cliques)
+
+    @property
+    def words(self) -> int:
+        """Words held by the incidence lists (both directions)."""
+        return 2 * sum(len(m) for m in self.members)
+
+
+def h_index(values) -> int:
+    """Largest h with at least h values >= h (the local-update operator)."""
+    arr = np.sort(np.asarray(values, dtype=np.int64))[::-1]
+    h = 0
+    for k, v in enumerate(arr, start=1):
+        if v >= k:
+            h = k
+        else:
+            break
+    return h

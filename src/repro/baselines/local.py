@@ -1,0 +1,95 @@
+"""AND and AND-NN: Sariyuce et al.'s asynchronous local algorithms.
+
+Instead of global peeling, the local paradigm (Sariyuce et al. 2018 [56])
+iterates an h-index-style operator per r-clique until fixpoint:
+
+    tau(R)  <-  H( { min over the other r-cliques R' of each incident
+                     s-clique S of tau(R') } )
+
+starting from tau = the s-clique count.  The fixpoint is exactly the
+(r,s)-clique-core number.  Updates are *asynchronous* (in place), which
+speeds convergence.
+
+The cost profile the paper reports emerges directly:
+
+* **AND** re-enumerates every incident s-clique on every visit of every
+  r-clique; the paper measures 1.69--46x (median ~15x) more s-clique
+  discoveries than ARB-NUCLEUS-DECOMP.
+* **AND-NN** adds the *notification* mechanism: an r-clique is revisited
+  only if the tau of some co-member changed since its last evaluation,
+  cutting discoveries to <= 3.45x (median ~1.4x) of ARB --- at the price of
+  storing the incidence structure, which is what makes AND-NN run out of
+  memory on the paper's larger graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..parallel.runtime import CostTracker, _log2
+from .common import BaselineResult, Incidence, h_index
+
+
+def _local_decomposition(graph: CSRGraph, r: int, s: int, name: str,
+                         notify: bool,
+                         tracker: CostTracker | None = None) -> BaselineResult:
+    tracker = tracker or CostTracker()
+    with tracker.phase("count"):
+        inc = Incidence(graph, r, s, tracker)
+    tau = inc.initial_counts.copy()
+    visits = 0
+    iterations = 0
+    # AND-NN: dirty flags; plain AND re-evaluates everything each sweep.
+    dirty = np.ones(inc.n_r, dtype=bool)
+    with tracker.phase("iterate"):
+        changed = True
+        while changed:
+            changed = False
+            iterations += 1
+            tracker.add_round()  # one synchronizing sweep
+            tracker.add_span(_log2(inc.n_r + 2))
+            for i in range(inc.n_r):
+                if notify and not dirty[i]:
+                    continue
+                dirty[i] = False
+                # Re-enumerate the incident s-cliques (each one counts as a
+                # discovery: AND recomputes them, it does not store them).
+                support = []
+                for j in inc.incident[i]:
+                    visits += 1
+                    tracker.add_cliques(1)
+                    tracker.add_work(float(len(inc.members[j])))
+                    support.append(min(tau[other] for other in inc.members[j]
+                                       if other != i))
+                new_tau = min(int(tau[i]), h_index(support)) if support else 0
+                tracker.add_work(float(len(support)) * _log2(len(support) + 2))
+                if new_tau != tau[i]:
+                    tau[i] = new_tau
+                    changed = True
+                    if notify:
+                        for j in inc.incident[i]:
+                            tracker.add_work(float(len(inc.members[j])))
+                            for other in inc.members[j]:
+                                if other != i:
+                                    dirty[other] = True
+    core = {clique: int(tau[i]) for i, clique in enumerate(inc.r_cliques)}
+    # AND stores only tau (plus the graph); AND-NN stores the incidence
+    # lists for notification, the space cost the paper highlights.
+    memory = 2 * inc.n_r + (inc.words + inc.n_r if notify else 0)
+    return BaselineResult(name, r, s, core, tracker, iterations, iterations,
+                          visits, memory_words=memory)
+
+
+def and_decomposition(graph: CSRGraph, r: int, s: int,
+                      tracker: CostTracker | None = None) -> BaselineResult:
+    """AND: asynchronous local iteration to convergence."""
+    return _local_decomposition(graph, r, s, "AND", notify=False,
+                                tracker=tracker)
+
+
+def and_nn_decomposition(graph: CSRGraph, r: int, s: int,
+                         tracker: CostTracker | None = None) -> BaselineResult:
+    """AND-NN: AND plus the notification mechanism (space for speed)."""
+    return _local_decomposition(graph, r, s, "AND-NN", notify=True,
+                                tracker=tracker)

@@ -1,0 +1,142 @@
+"""The practical bucketing structure (Dhulipala et al., "Julienne").
+
+Algorithm 2 repeatedly extracts the bucket of r-cliques with the minimum
+s-clique count and moves r-cliques between buckets as counts drop.  The
+paper's implementation uses Julienne's strategy: only a constant window of
+the lowest buckets is materialized (lazily, with stale entries filtered on
+extraction), and refilling the window skips over large empty ranges ---
+both behaviors are reproduced and cost-accounted here.
+
+Values only ever *decrease* between extractions (peeling is monotone), and
+extracted ids are implicitly assigned the bucket's value as their core
+number by the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.runtime import CostTracker, _log2
+
+
+class JulienneBucketing:
+    """Lazy bucket queue materializing a window of the lowest buckets.
+
+    Parameters
+    ----------
+    ids:
+        Identifiers (arbitrary non-negative ints, e.g. table cell indices).
+    values:
+        Initial bucket value of each id (the s-clique counts).
+    window:
+        How many consecutive buckets to materialize at once (the "constant
+        number of the lowest buckets").
+    """
+
+    def __init__(self, ids, values, window: int = 64,
+                 tracker: CostTracker | None = None):
+        self.ids = np.asarray(ids, dtype=np.int64)
+        if self.ids.size:
+            self._pos = {int(i): k for k, i in enumerate(self.ids)}
+        else:
+            self._pos = {}
+        self.values = np.asarray(values, dtype=np.int64).copy()
+        if self.values.size != self.ids.size:
+            raise ValueError("ids and values must have equal length")
+        self.alive = np.ones(self.ids.size, dtype=bool)
+        self.window = max(1, window)
+        self.tracker = tracker
+        self.remaining = self.ids.size
+        self.base = 0
+        self.peel_floor = 0  # value of the most recently extracted bucket
+        self._buckets: list[list[int]] = []
+        self.refills = 0
+        if self.ids.size:
+            self._refill()
+
+    # -- internals ----------------------------------------------------------
+
+    def _charge(self, work: float) -> None:
+        if self.tracker is not None:
+            self.tracker.add_work(work)
+
+    def _refill(self) -> None:
+        """Rebuild the window starting at the minimum live value.
+
+        Skips every empty bucket below that minimum in one step (the
+        "skips over large ranges of empty buckets" behavior).
+        """
+        self.refills += 1
+        live = np.flatnonzero(self.alive)
+        self._charge(float(live.size) + 1.0)
+        if self.tracker is not None:
+            self.tracker.add_span(_log2(max(1, live.size)))
+        if live.size == 0:
+            self._buckets = []
+            return
+        vals = self.values[live]
+        self.base = int(vals.min())
+        self._buckets = [[] for _ in range(self.window)]
+        in_window = live[vals < self.base + self.window]
+        for k in in_window:
+            self._buckets[int(self.values[k]) - self.base].append(int(k))
+
+    # -- public API ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.remaining
+
+    def next_bucket(self) -> tuple[int, np.ndarray]:
+        """Extract the minimum non-empty bucket: ``(value, ids)``.
+
+        Raises :class:`IndexError` when the structure is empty.
+        """
+        if self.remaining == 0:
+            raise IndexError("bucketing structure is empty")
+        while True:
+            for offset, bucket in enumerate(self._buckets):
+                if not bucket:
+                    continue
+                value = self.base + offset
+                # Filter stale entries: an id is valid if it is alive and its
+                # current value still equals this bucket's value.
+                self._charge(float(len(bucket)))
+                valid = [k for k in bucket
+                         if self.alive[k] and self.values[k] == value]
+                bucket.clear()
+                if not valid:
+                    continue
+                positions = np.asarray(valid, dtype=np.int64)
+                self.alive[positions] = False
+                self.remaining -= len(valid)
+                self.peel_floor = value
+                return value, self.ids[positions]
+            self._refill()
+            if not any(self._buckets):
+                if self.remaining == 0:
+                    raise IndexError("bucketing structure is empty")
+
+    def update(self, ids, new_values) -> None:
+        """Decrease the values of ``ids`` to ``new_values`` and re-bucket.
+
+        Values are clamped below at the current peel level (an r-clique
+        whose count falls beneath the bucket being peeled belongs to that
+        bucket: its core number cannot drop below the peel level).
+        """
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        new_values = np.atleast_1d(np.asarray(new_values, dtype=np.int64))
+        self._charge(float(ids.size))
+        if self.tracker is not None:
+            self.tracker.add_span(_log2(max(1, ids.size)))
+        for ident, value in zip(ids, new_values):
+            k = self._pos[int(ident)]
+            if not self.alive[k]:
+                continue
+            value = max(int(value), self.peel_floor)
+            self.values[k] = value
+            if value < self.base + self.window:
+                self._buckets[value - self.base].append(k)
+
+    def value_of(self, ident: int) -> int:
+        """Current bucket value of an id (alive or not)."""
+        return int(self.values[self._pos[int(ident)]])

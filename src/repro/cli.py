@@ -1,0 +1,184 @@
+"""Command-line interface for the nucleus decomposition library.
+
+Subcommands::
+
+    python -m repro.cli decompose --input graph.txt --r 2 --s 3
+    python -m repro.cli decompose --dataset dblp --r 3 --s 4 --histogram
+    python -m repro.cli generate --kind rmat --scale 10 --edge-factor 8 -o g.txt
+    python -m repro.cli stats --dataset skitter
+    python -m repro.cli figure fig14
+
+``decompose`` reads a SNAP-style edge list (or a named surrogate dataset),
+runs ARB-NUCLEUS-DECOMP, and prints summary statistics, the core-number
+histogram, and optionally every r-clique's core number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.config import NucleusConfig
+from .core.decomp import arb_nucleus_decomp
+from .experiments import figures
+from .graph.datasets import dataset_names, load_dataset
+from .graph.generators import erdos_renyi, planted_partition, rmat_graph
+from .graph.io import read_edge_list, write_edge_list
+from .parallel.runtime import CostTracker, MachineModel
+
+
+def _load_graph(args):
+    if args.dataset:
+        return load_dataset(args.dataset), args.dataset
+    if args.input:
+        return read_edge_list(args.input), args.input
+    raise SystemExit("provide --input FILE or --dataset NAME")
+
+
+def _build_config(args) -> NucleusConfig:
+    if getattr(args, "unoptimized", False):
+        config = NucleusConfig.unoptimized()
+    else:
+        config = NucleusConfig.optimal(args.r, args.s)
+    overrides = {}
+    for field in ("levels", "aggregation", "bucketing", "orientation"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "no_relabel", False):
+        overrides["relabel"] = False
+    if overrides:
+        from dataclasses import replace
+        config = replace(config, **overrides)
+    return config
+
+
+def _cmd_decompose(args) -> int:
+    graph, name = _load_graph(args)
+    config = _build_config(args)
+    tracker = CostTracker()
+    result = arb_nucleus_decomp(graph, args.r, args.s, config, tracker)
+    machine = MachineModel()
+    print(f"graph {name}: n={graph.n} m={graph.m}")
+    print(f"({args.r},{args.s}) nucleus decomposition:")
+    print(f"  r-cliques: {result.n_r_cliques}  s-cliques: {result.n_s_cliques}")
+    print(f"  peeling rounds (rho): {result.rho}  max core: {result.max_core}")
+    print(f"  T memory units: {result.table_memory_units}")
+    print(f"  simulated time: T(1)={machine.time(tracker, 1):.0f} "
+          f"T(60)={machine.time(tracker, 60):.0f} "
+          f"(speedup {machine.speedup(tracker, 60):.1f}x)")
+    if args.histogram:
+        print("  core histogram:")
+        for core, count in sorted(result.core_histogram().items()):
+            print(f"    {core}: {count}")
+    if args.full:
+        for clique, core in sorted(result.as_dict().items()):
+            print(" ".join(map(str, clique)), core)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "rmat":
+        graph = rmat_graph(args.scale, args.edge_factor, seed=args.seed)
+    elif args.kind == "erdos-renyi":
+        n = 1 << args.scale
+        graph = erdos_renyi(n, args.edge_factor * n, seed=args.seed)
+    else:
+        n = 1 << args.scale
+        graph = planted_partition(n, max(4, n // 20), 0.5, 1.0 / n,
+                                  seed=args.seed)
+    write_edge_list(graph, args.output, header=f"generated: {args.kind}")
+    print(f"wrote {graph.n} vertices / {graph.m} edges to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    graph, name = _load_graph(args)
+    from .cliques.orient import degeneracy
+    from .cliques.counting import triangle_count
+    print(f"graph {name}:")
+    print(f"  n = {graph.n}")
+    print(f"  m = {graph.m}")
+    print(f"  max degree = {int(graph.degrees.max()) if graph.n else 0}")
+    print(f"  degeneracy = {degeneracy(graph)}")
+    print(f"  triangles = {triangle_count(graph)}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    drivers = {
+        "fig07": figures.fig07, "fig08": figures.fig08,
+        "fig09": figures.fig09_fig10, "fig10": figures.fig09_fig10,
+        "fig11": figures.fig11, "fig12": figures.fig12,
+        "fig13": figures.fig13, "fig14": figures.fig14,
+        "fig15": figures.fig15,
+    }
+    if args.name not in drivers:
+        raise SystemExit(f"unknown figure {args.name!r}; "
+                         f"options: {sorted(set(drivers))}")
+    print(drivers[args.name]().show())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel (r,s) nucleus decomposition (VLDB 2021 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("decompose", help="run ARB-NUCLEUS-DECOMP")
+    p.add_argument("--input", help="SNAP-style edge list file")
+    p.add_argument("--dataset", choices=dataset_names(),
+                   help="named surrogate dataset")
+    p.add_argument("--r", type=int, required=True)
+    p.add_argument("--s", type=int, required=True)
+    p.add_argument("--histogram", action="store_true",
+                   help="print the core-number histogram")
+    p.add_argument("--full", action="store_true",
+                   help="print every r-clique with its core number")
+    p.add_argument("--unoptimized", action="store_true",
+                   help="run the Section 6.2 baseline configuration")
+    p.add_argument("--levels", type=int,
+                   help="levels of the clique table T")
+    p.add_argument("--aggregation",
+                   choices=["array", "list_buffer", "hash"],
+                   help="update-aggregation strategy for U")
+    p.add_argument("--bucketing",
+                   choices=["julienne", "fibonacci", "dense"],
+                   help="bucketing backend")
+    p.add_argument("--orientation",
+                   choices=["degeneracy", "goodrich_pszona",
+                            "barenboim_elkin", "degree"],
+                   help="O(alpha)-orientation algorithm")
+    p.add_argument("--no-relabel", action="store_true",
+                   help="disable orientation-order relabeling")
+    p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser("generate", help="write a synthetic graph")
+    p.add_argument("--kind", choices=["rmat", "erdos-renyi", "community"],
+                   default="rmat")
+    p.add_argument("--scale", type=int, default=10, help="log2(n)")
+    p.add_argument("--edge-factor", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("stats", help="basic structural statistics")
+    p.add_argument("--input")
+    p.add_argument("--dataset", choices=dataset_names())
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure's table")
+    p.add_argument("name", help="fig07 .. fig15")
+    p.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

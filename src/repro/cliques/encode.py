@@ -1,0 +1,69 @@
+"""Packing cliques into integer hash-table keys.
+
+The clique table ``T`` keys its last level by (r - l + 1)-cliques, which
+must be "concatenated into a key" (paper Section 5.1).  We pack each vertex
+id into a fixed-width bit field, most-significant vertex first, so the
+numeric order of keys equals the lexicographic order of cliques.
+
+The top bit of every key is reserved to distinguish empty hash cells
+(Section 5.3), so at most 63 bits are available; :func:`min_levels` computes
+how many table levels that forces for a given (n, r) --- reproducing the
+paper's observation that one-level tables are infeasible for large ``r``.
+"""
+
+from __future__ import annotations
+
+MAX_KEY_BITS = 63
+
+
+class CliqueEncoder:
+    """Packs ascending vertex tuples from a graph of ``n`` vertices."""
+
+    def __init__(self, n: int, width: int):
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        self.n = n
+        self.width = width
+        self.bits_per_vertex = max(1, (max(2, n) - 1).bit_length())
+        if width * self.bits_per_vertex > MAX_KEY_BITS:
+            raise KeyWidthError(n, width, self.bits_per_vertex)
+
+    def encode(self, vertices) -> int:
+        """Pack ``vertices`` (ascending) into one integer key."""
+        key = 0
+        for v in vertices:
+            key = (key << self.bits_per_vertex) | int(v)
+        return key
+
+    def decode(self, key: int) -> tuple[int, ...]:
+        """Unpack a key produced by :meth:`encode`."""
+        mask = (1 << self.bits_per_vertex) - 1
+        out = []
+        for _ in range(self.width):
+            out.append(key & mask)
+            key >>= self.bits_per_vertex
+        return tuple(reversed(out))
+
+
+class KeyWidthError(ValueError):
+    """Raised when a clique does not fit in a 63-bit key at this level count."""
+
+    def __init__(self, n: int, width: int, bits: int):
+        self.n, self.width, self.bits = n, width, bits
+        super().__init__(
+            f"cannot pack {width} vertices of a {n}-vertex graph into "
+            f"{MAX_KEY_BITS} bits ({width}x{bits} bits needed); "
+            f"use a table with more levels")
+
+
+def min_levels(n: int, r: int) -> int:
+    """Fewest table levels representing r-cliques of an n-vertex graph.
+
+    An l-level table keys its last level by (r - l + 1) vertices; this
+    returns the smallest l in [1, r] whose last-level key fits in 63 bits.
+    """
+    bits = max(1, (max(2, n) - 1).bit_length())
+    for levels in range(1, r + 1):
+        if (r - levels + 1) * bits <= MAX_KEY_BITS:
+            return levels
+    raise KeyWidthError(n, 1, bits)

@@ -1,0 +1,26 @@
+"""The paper's primary contribution: ARB-NUCLEUS-DECOMP and its parts."""
+
+from .aggregation import (AGGREGATORS, HashTableAggregator,
+                          ListBufferAggregator, SimpleArrayAggregator,
+                          make_aggregator)
+from .config import NucleusConfig
+from .decomp import NucleusResult, arb_nucleus_decomp
+from .densest import DensestResult, k_clique_densest
+from .kcore import degeneracy_core, k_core, k_core_via_nucleus
+from .ktruss import k_truss, max_truss_subgraph, trussness
+from .tables import CliqueTable
+from .validate import (NucleusValidationError, is_valid_nucleus_decomposition,
+                       validate_nucleus_decomposition)
+from .verify import brute_force_kcore, brute_force_ktruss, brute_force_nucleus
+
+__all__ = [
+    "arb_nucleus_decomp", "NucleusResult", "NucleusConfig", "CliqueTable",
+    "k_core", "k_core_via_nucleus", "degeneracy_core",
+    "k_truss", "trussness", "max_truss_subgraph",
+    "k_clique_densest", "DensestResult",
+    "SimpleArrayAggregator", "ListBufferAggregator", "HashTableAggregator",
+    "AGGREGATORS", "make_aggregator",
+    "brute_force_nucleus", "brute_force_kcore", "brute_force_ktruss",
+    "validate_nucleus_decomposition", "is_valid_nucleus_decomposition",
+    "NucleusValidationError",
+]

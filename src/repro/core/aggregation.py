@@ -1,0 +1,181 @@
+"""Aggregating the set ``U`` of r-cliques with updated counts (Section 5.5).
+
+Each peeling round must collect the distinct r-cliques whose s-clique
+counts changed, to re-bucket them.  The paper offers three strategies with
+different contention/clearing trade-offs, all implemented here behind one
+interface:
+
+* **simple array** -- one shared cursor advanced by fetch-and-add for every
+  stored r-clique; compact, nothing to clear, but every insertion contends
+  on the cursor;
+* **list buffer** -- each of the P simulated threads owns a cursor into its
+  private block of the output array, contending only when a block fills
+  and a fresh one must be reserved; unused slots are filtered out at the
+  end of the round;
+* **hash table** -- a parallel hash table sized per round from the number
+  of peeled r-cliques; no reservation contention at all, but the table
+  must be cleared (work proportional to its capacity) every round.
+
+First-touch detection (an r-clique enters ``U`` only on its first count
+update of the round) is the caller's job --- the decomposition keeps a
+per-cell round stamp --- so ``record`` is only called once per (cell, round).
+
+Contention flows through a :class:`~repro.parallel.atomics.ContentionMeter`
+settled by the caller at the end of each round, so the simple array's
+serialized fetch-and-adds lengthen the simulated critical path exactly as
+the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.atomics import ContentionMeter
+from ..parallel.hashtable import ParallelHashTable
+from ..parallel.runtime import CostTracker
+
+#: Simulated address of the shared cursor (arbitrary, distinct per purpose).
+_CURSOR_ADDRESS = -1
+_BLOCK_CURSOR_ADDRESS = -2
+
+
+class SimpleArrayAggregator:
+    """Section 5.5's first option: a flat array with one shared cursor."""
+
+    name = "array"
+
+    def __init__(self, capacity: int, threads: int = 1,
+                 tracker: CostTracker | None = None,
+                 meter: ContentionMeter | None = None,
+                 buffer_size: int = 64):
+        del threads, buffer_size
+        self._slots = np.zeros(max(1, capacity), dtype=np.int64)
+        self._cursor = 0
+        self.tracker = tracker
+        self.meter = meter
+
+    def begin_round(self, peeled: int, update_estimate: int) -> None:
+        del peeled, update_estimate
+        self._cursor = 0  # no clearing needed: the cursor bounds validity
+
+    def record(self, cell: int, thread: int = 0) -> None:
+        del thread
+        if self.tracker is not None:
+            self.tracker.add_work(1.0)
+            self.tracker.add_atomic()
+        if self.meter is not None:
+            self.meter.record(_CURSOR_ADDRESS)  # every insert hits the cursor
+        self._slots[self._cursor] = cell
+        self._cursor += 1
+
+    def finish_round(self) -> np.ndarray:
+        return self._slots[:self._cursor].copy()
+
+
+class ListBufferAggregator:
+    """Section 5.5's list buffer: per-thread cursors over private blocks."""
+
+    name = "list_buffer"
+
+    def __init__(self, capacity: int, threads: int = 60,
+                 tracker: CostTracker | None = None,
+                 meter: ContentionMeter | None = None,
+                 buffer_size: int = 64):
+        self.threads = max(1, threads)
+        self.buffer_size = max(1, buffer_size)
+        # Worst case: every thread wastes all but one slot of its last block.
+        self._slots = np.full(
+            max(1, capacity) + self.threads * self.buffer_size, -1,
+            dtype=np.int64)
+        self.tracker = tracker
+        self.meter = meter
+        self._next_block = 0
+        self._thread_cursor = np.zeros(self.threads, dtype=np.int64)
+        self._thread_remaining = np.zeros(self.threads, dtype=np.int64)
+        self._allocated = 0
+
+    def begin_round(self, peeled: int, update_estimate: int) -> None:
+        del peeled, update_estimate
+        # Reusing the buffer needs no clearing: resetting cursors suffices.
+        self._next_block = 0
+        self._thread_remaining.fill(0)
+        self._allocated = 0
+
+    def record(self, cell: int, thread: int = 0) -> None:
+        thread %= self.threads
+        if self._thread_remaining[thread] == 0:
+            # Reserve the next block with a fetch-and-add on the shared
+            # block cursor -- the only contended operation.
+            if self.meter is not None:
+                self.meter.record(_BLOCK_CURSOR_ADDRESS)
+            if self.tracker is not None:
+                self.tracker.add_atomic()
+            self._thread_cursor[thread] = self._next_block
+            self._thread_remaining[thread] = self.buffer_size
+            self._next_block += self.buffer_size
+            self._allocated += self.buffer_size
+        if self.tracker is not None:
+            self.tracker.add_work(1.0)
+        self._slots[self._thread_cursor[thread]] = cell
+        self._thread_cursor[thread] += 1
+        self._thread_remaining[thread] -= 1
+
+    def finish_round(self) -> np.ndarray:
+        # Parallel-filter unused slots out of the allocated prefix.
+        used = self._slots[:self._next_block]
+        if self.tracker is not None:
+            self.tracker.add_work(float(self._allocated))
+        result = used[used >= 0].copy()
+        used.fill(-1)
+        return result
+
+
+class HashTableAggregator:
+    """Section 5.5's hash table: contention-free inserts, per-round clears."""
+
+    name = "hash"
+
+    def __init__(self, capacity: int, threads: int = 1,
+                 tracker: CostTracker | None = None,
+                 meter: ContentionMeter | None = None,
+                 buffer_size: int = 64):
+        del threads, meter, buffer_size
+        self.capacity = max(1, capacity)
+        self.tracker = tracker
+        self._table: ParallelHashTable | None = None
+
+    def begin_round(self, peeled: int, update_estimate: int) -> None:
+        # Size the table from this round's peel: fewer peeled r-cliques
+        # means less space and therefore less clearing work afterwards.
+        hint = max(4, min(self.capacity, update_estimate))
+        self._table = ParallelHashTable(hint, tracker=self.tracker)
+
+    def record(self, cell: int, thread: int = 0) -> None:
+        del thread
+        self._table.insert_or_add(cell, 0.0)
+
+    def finish_round(self) -> np.ndarray:
+        cells = np.sort(np.asarray(
+            [k for k, _ in self._table.items()], dtype=np.int64))
+        # The entire table must be cleared before reuse.
+        self._table.clear()
+        return cells
+
+
+AGGREGATORS = {
+    "array": SimpleArrayAggregator,
+    "list_buffer": ListBufferAggregator,
+    "hash": HashTableAggregator,
+}
+
+
+def make_aggregator(kind: str, capacity: int, threads: int = 60,
+                    tracker: CostTracker | None = None,
+                    meter: ContentionMeter | None = None,
+                    buffer_size: int = 64):
+    """Instantiate an update-aggregation strategy by name."""
+    if kind not in AGGREGATORS:
+        raise ValueError(
+            f"unknown aggregation {kind!r}; options: {sorted(AGGREGATORS)}")
+    return AGGREGATORS[kind](capacity, threads=threads, tracker=tracker,
+                             meter=meter, buffer_size=buffer_size)

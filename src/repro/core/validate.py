@@ -1,0 +1,107 @@
+"""Definitional validation of nucleus decompositions.
+
+A (claimed) (r,s) nucleus decomposition can be checked against the
+*definition* rather than against another implementation: for every level
+``c``, the union of r-cliques with core >= c must form a subgraph in which
+each such r-clique participates in at least ``c`` s-cliques whose r-cliques
+all also have core >= c; and no r-clique's core may be raisable (maximality
+of each nucleus).
+
+These checks are independent of the peeling machinery (they enumerate
+s-cliques directly from the graph), so they catch bug classes that
+oracle-versus-implementation comparisons can miss.  They are exponential
+in spirit --- use them on small graphs and samples.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..cliques.listing import collect_cliques
+from ..cliques.orient import orient
+from ..graph.csr import CSRGraph
+
+
+class NucleusValidationError(AssertionError):
+    """A claimed decomposition violates the nucleus definition."""
+
+
+def _s_cliques_with_subsets(graph: CSRGraph, r: int, s: int):
+    dg, _ = orient(graph, "degeneracy")
+    for row in collect_cliques(dg, s):
+        big = tuple(sorted(int(x) for x in row))
+        yield big, [sub for sub in combinations(big, r)]
+
+
+def validate_nucleus_decomposition(graph: CSRGraph, r: int, s: int,
+                                   cores: dict[tuple, int]) -> None:
+    """Raise :class:`NucleusValidationError` unless ``cores`` is the
+    (r,s)-clique-core function of ``graph``.
+
+    Checks three properties:
+
+    1. **Coverage** -- every r-clique of the graph appears in ``cores``.
+    2. **Soundness** -- at each level c, each surviving r-clique touches at
+       least c surviving s-cliques (so each claimed nucleus is a c-(r,s)
+       nucleus).
+    3. **Maximality** -- simulated re-peeling of the survivor subgraph at
+       level c+1 eliminates every r-clique whose claimed core is exactly c
+       (so no core number is understated).
+    """
+    dg, _ = orient(graph, "degeneracy")
+    actual_r = {tuple(sorted(int(x) for x in row))
+                for row in collect_cliques(dg, r)}
+    claimed = set(cores)
+    if actual_r != claimed:
+        missing = actual_r - claimed
+        extra = claimed - actual_r
+        raise NucleusValidationError(
+            f"coverage: missing={sorted(missing)[:5]} "
+            f"extra={sorted(extra)[:5]}")
+
+    incidence = list(_s_cliques_with_subsets(graph, r, s))
+    levels = sorted(set(cores.values()))
+    for level in levels:
+        survivors = {cl for cl, c in cores.items() if c >= level}
+        counts = {cl: 0 for cl in survivors}
+        for _big, subs in incidence:
+            if all(sub in survivors for sub in subs):
+                for sub in subs:
+                    counts[sub] += 1
+        # Soundness: everyone at this level meets the degree bound.
+        for clique, count in counts.items():
+            if count < level:
+                raise NucleusValidationError(
+                    f"soundness: {clique} has core >= {level} but only "
+                    f"{count} surviving s-cliques")
+        # Maximality: peeling survivors at level+1 must remove exactly
+        # the cliques whose claimed core equals this level.
+        alive = set(survivors)
+        changed = True
+        while changed:
+            changed = False
+            counts = {cl: 0 for cl in alive}
+            for _big, subs in incidence:
+                if all(sub in alive for sub in subs):
+                    for sub in subs:
+                        counts[sub] += 1
+            doomed = {cl for cl, count in counts.items()
+                      if count < level + 1}
+            if doomed:
+                alive -= doomed
+                changed = True
+        for clique in alive:
+            if cores[clique] == level:
+                raise NucleusValidationError(
+                    f"maximality: {clique} survives peeling at level "
+                    f"{level + 1} but its claimed core is {level}")
+
+
+def is_valid_nucleus_decomposition(graph: CSRGraph, r: int, s: int,
+                                   cores: dict[tuple, int]) -> bool:
+    """Boolean wrapper around :func:`validate_nucleus_decomposition`."""
+    try:
+        validate_nucleus_decomposition(graph, r, s, cores)
+    except NucleusValidationError:
+        return False
+    return True

@@ -1,0 +1,85 @@
+"""Reference (oracle) nucleus decomposition for testing.
+
+A deliberately simple, structure-free implementation: materialize every
+r-clique and s-clique plus their incidence, then peel with plain Python
+dictionaries.  Quadratic-ish and memory-hungry, but obviously correct ---
+the test suite checks ARB-NUCLEUS-DECOMP against it on small graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..cliques.listing import collect_cliques
+from ..cliques.orient import orient
+from ..graph.csr import CSRGraph
+
+
+def brute_force_nucleus(graph: CSRGraph, r: int, s: int
+                        ) -> dict[tuple[int, ...], int]:
+    """The (r,s)-clique-core number of every r-clique, by direct peeling."""
+    if not 1 <= r < s:
+        raise ValueError("need 1 <= r < s")
+    dg, _ = orient(graph, "degeneracy")
+    r_cliques = [tuple(sorted(row)) for row in collect_cliques(dg, r)]
+    s_cliques = [tuple(sorted(row)) for row in collect_cliques(dg, s)]
+    count = {clique: 0 for clique in r_cliques}
+    incidence: dict[tuple, list[int]] = {clique: [] for clique in r_cliques}
+    members: list[list[tuple]] = []
+    for idx, big in enumerate(s_cliques):
+        subs = [sub for sub in combinations(big, r)]
+        members.append(subs)
+        for sub in subs:
+            count[sub] += 1
+            incidence[sub].append(idx)
+    s_alive = [True] * len(s_cliques)
+    core: dict[tuple, int] = {}
+    remaining = set(r_cliques)
+    level = 0
+    while remaining:
+        level = max(level, min(count[c] for c in remaining))
+        peel = {c for c in remaining if count[c] <= level}
+        for clique in peel:
+            core[clique] = level
+        for clique in peel:
+            for idx in incidence[clique]:
+                if not s_alive[idx]:
+                    continue
+                s_alive[idx] = False
+                for other in members[idx]:
+                    if other not in peel and other in remaining:
+                        count[other] -= 1
+        remaining -= peel
+    return core
+
+
+def brute_force_kcore(graph: CSRGraph) -> np.ndarray:
+    """Classic k-core (coreness) by direct peeling; equals (1,2) nuclei."""
+    degree = graph.degrees.astype(np.int64).copy()
+    alive = np.ones(graph.n, dtype=bool)
+    core = np.zeros(graph.n, dtype=np.int64)
+    level = 0
+    remaining = graph.n
+    while remaining:
+        live = np.flatnonzero(alive)
+        level = max(level, int(degree[live].min()))
+        peel = live[degree[live] <= level]
+        core[peel] = level
+        alive[peel] = False
+        remaining -= peel.size
+        for v in peel:
+            nbrs = graph.neighbors(v)
+            degree[nbrs[alive[nbrs]]] -= 1
+    return core
+
+
+def brute_force_ktruss(graph: CSRGraph) -> dict[tuple[int, int], int]:
+    """Edge trussness by direct peeling; equals (2,3) nuclei.
+
+    Reports the *triangle-core* convention used by the paper: the maximum
+    ``c`` such that the edge is in a subgraph where every edge is in at
+    least ``c`` triangles (i.e. k-truss number minus 2).
+    """
+    return brute_force_nucleus(graph, 2, 3)

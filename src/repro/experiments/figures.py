@@ -1,0 +1,335 @@
+"""Drivers reproducing every table and figure of the paper's Section 6.
+
+Each ``figNN`` function runs the corresponding experiment on the surrogate
+datasets and returns a :class:`~repro.experiments.harness.FigureResult`
+whose rows mirror the series the paper plots.  The benchmark suite under
+``benchmarks/`` is a thin wrapper that executes these drivers and prints
+their tables; EXPERIMENTS.md records paper-versus-measured values.
+
+Default graph lists follow the paper's own inclusions/omissions (e.g.
+friendster is omitted from the (3,4) table-optimization sweeps because the
+paper's runs OOM there).
+"""
+
+from __future__ import annotations
+
+from ..baselines import (and_decomposition, and_nn_decomposition,
+                         msp_decomposition, nd_decomposition,
+                         pkt_decomposition, pkt_opt_cpu_decomposition,
+                         pnd_decomposition)
+from ..core.config import NucleusConfig
+from ..graph.datasets import load_dataset
+from ..graph.generators import rmat_graph
+from ..machine.cache import CacheSimulator
+from .harness import (DEFAULT_MACHINE, PAPER_OMISSIONS, FigureResult,
+                      format_table, run_arb, run_baseline)
+
+#: The T-layout combinations swept in Figures 8-10 (Section 6.2).  The
+#: non-T knobs stay at their unoptimized values during this sweep, exactly
+#: as in the paper's tuning methodology.
+T_COMBOS: list[tuple[str, dict]] = [
+    ("one-level", dict(levels=1, table_style="hash", contiguous=False,
+                       inverse_map="binary_search")),
+    ("2-level/scatter/binsearch", dict(levels=2, table_style="array",
+                                       contiguous=False,
+                                       inverse_map="binary_search")),
+    ("2-level/contig/binsearch", dict(levels=2, table_style="array",
+                                      contiguous=True,
+                                      inverse_map="binary_search")),
+    ("2-level/contig/stored", dict(levels=2, table_style="array",
+                                   contiguous=True,
+                                   inverse_map="stored_pointers")),
+    ("2-multi/contig/stored", dict(levels=2, table_style="hash",
+                                   contiguous=True,
+                                   inverse_map="stored_pointers")),
+    ("3-multi/contig/stored", dict(levels=3, table_style="hash",
+                                   contiguous=True,
+                                   inverse_map="stored_pointers")),
+]
+
+_UNOPT_OTHER = dict(relabel=False, aggregation="array", contraction=False)
+
+#: (r,s) pairs listed per graph in Figure 7 / Figure 13, scaled to what each
+#: surrogate's size affords (the paper likewise times out / OOMs on the
+#: larger graphs for larger r and s).
+RS_BY_GRAPH = {
+    "amazon": [(r, s) for s in range(2, 8) for r in range(1, s)],
+    "dblp": [(r, s) for s in range(2, 8) for r in range(1, s)],
+    "youtube": [(r, s) for s in range(2, 8) for r in range(1, s)],
+    "skitter": [(r, s) for s in range(2, 6) for r in range(1, s)],
+    "livejournal": [(r, s) for s in range(2, 6) for r in range(1, s)],
+    "orkut": [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)],
+    "friendster": [(1, 2), (2, 3)],
+}
+
+
+def fig07(graphs: list[str] | None = None) -> FigureResult:
+    """Figure 7: graph sizes, peeling complexity, and max core numbers."""
+    graphs = graphs or list(RS_BY_GRAPH)
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name)
+        row = {"graph": name, "n": graph.n, "m": graph.m}
+        for r, s in RS_BY_GRAPH[name]:
+            run = run_arb(graph, r, s, NucleusConfig.optimal(r, s), name)
+            row[f"rho({r},{s})"] = run.result.rho
+            row[f"max({r},{s})"] = run.result.max_core
+        rows.append(row)
+    columns = ["graph", "n", "m"]
+    for s in range(2, 8):
+        for r in range(1, s):
+            key = f"rho({r},{s})"
+            if any(key in row for row in rows):
+                columns += [key, f"max({r},{s})"]
+    text = format_table(rows, columns,
+                        "Graph sizes, rho(r,s), and max (r,s)-core numbers")
+    return FigureResult("fig07", "graph statistics", rows, text)
+
+
+def _t_combo_sweep(r: int, s: int, graphs: list[str],
+                   cache_sample: int = 1) -> list[dict]:
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name)
+        runs = {}
+        for label, combo in T_COMBOS:
+            if combo["levels"] > r:
+                continue
+            config = NucleusConfig(**combo, **_UNOPT_OTHER)
+            runs[label] = run_arb(graph, r, s, config, name,
+                                  cache=CacheSimulator(sample=cache_sample))
+        base = runs["one-level"]
+        for label, run in runs.items():
+            rows.append({
+                "graph": name, "combo": label,
+                "speedup": base.time_parallel / run.time_parallel,
+                "space_saving": (base.result.table_memory_units
+                                 / max(1, run.result.table_memory_units)),
+                "memory_units": run.result.table_memory_units,
+                "T60": run.time_parallel,
+                "miss_rate": (run.cache_misses / run.cache_accesses
+                              if run.cache_accesses else 0.0),
+            })
+    return rows
+
+
+def fig08(graphs: list[str] | None = None,
+          cache_sample: int = 4) -> FigureResult:
+    """Figure 8: T-optimization speedups and space savings for (3,4).
+
+    friendster is omitted (the paper's runs OOM there); orkut is included
+    because the paper highlights its 3-multi-level result.
+    """
+    graphs = graphs or ["amazon", "dblp", "youtube", "skitter",
+                        "livejournal", "orkut"]
+    rows = _t_combo_sweep(3, 4, graphs, cache_sample=cache_sample)
+    text = format_table(
+        rows, ["graph", "combo", "speedup", "space_saving", "memory_units",
+               "miss_rate"],
+        "(3,4) nucleus decomposition: T-layout speedup / space vs one-level")
+    return FigureResult("fig08", "(3,4) T optimizations", rows, text)
+
+
+def fig09_fig10(graphs: list[str] | None = None,
+                cache_sample: int = 2) -> FigureResult:
+    """Figures 9-10: T-optimization speedups and space savings for (4,5).
+
+    livejournal, orkut, and friendster are omitted, as in the paper (their
+    (4,5) runs exceed memory).
+    """
+    graphs = graphs or ["amazon", "dblp", "youtube", "skitter"]
+    rows = _t_combo_sweep(4, 5, graphs, cache_sample=cache_sample)
+    text = format_table(
+        rows, ["graph", "combo", "speedup", "space_saving", "memory_units",
+               "miss_rate"],
+        "(4,5) nucleus decomposition: T-layout speedup / space vs one-level")
+    return FigureResult("fig09_10", "(4,5) T optimizations", rows, text)
+
+
+def fig11(rs_list: list[tuple[int, int]] | None = None,
+          graphs: list[str] | None = None) -> FigureResult:
+    """Figure 11: relabeling / update-aggregation / contraction speedups.
+
+    All variants are measured against the two-level contiguous
+    stored-pointer setting with simple-array aggregation, as in the paper.
+    A "combined" row compares the paper's optimal configuration against the
+    fully unoptimized one (the up-to-5.10x statistic of Section 6.2).
+    """
+    rs_list = rs_list or [(2, 3), (2, 4), (3, 4)]
+    graphs = graphs or ["amazon", "dblp", "youtube", "skitter"]
+    base_kwargs = dict(levels=2, table_style="array", contiguous=True,
+                       inverse_map="stored_pointers")
+    variants = [
+        ("relabel", dict(relabel=True, aggregation="array")),
+        ("U=list-buffer", dict(relabel=False, aggregation="list_buffer")),
+        ("U=hash", dict(relabel=False, aggregation="hash")),
+    ]
+    rows = []
+    for r, s in rs_list:
+        for name in graphs:
+            graph = load_dataset(name)
+            base = run_arb(graph, r, s,
+                           NucleusConfig(**base_kwargs, relabel=False,
+                                         aggregation="array"), name)
+            for label, extra in variants:
+                run = run_arb(graph, r, s,
+                              NucleusConfig(**base_kwargs, **extra), name)
+                rows.append({"rs": f"({r},{s})", "graph": name,
+                             "variant": label,
+                             "speedup": base.time_parallel / run.time_parallel})
+            if (r, s) == (2, 3):
+                run = run_arb(graph, r, s,
+                              NucleusConfig(**base_kwargs, relabel=False,
+                                            aggregation="array",
+                                            contraction=True), name)
+                rows.append({"rs": "(2,3)", "graph": name,
+                             "variant": "contraction",
+                             "speedup": base.time_parallel / run.time_parallel})
+            # Combined: the paper's optimal config vs fully unoptimized.
+            unopt = run_arb(graph, r, s, NucleusConfig.unoptimized(), name)
+            best = run_arb(graph, r, s, NucleusConfig.optimal(r, s), name)
+            rows.append({"rs": f"({r},{s})", "graph": name,
+                         "variant": "combined(best/unopt)",
+                         "speedup": unopt.time_parallel / best.time_parallel})
+    text = format_table(rows, ["rs", "graph", "variant", "speedup"],
+                        "Relabeling / aggregation / contraction speedups "
+                        "over two-level + simple array")
+    return FigureResult("fig11", "other optimizations", rows, text)
+
+
+def fig12(graphs: list[str] | None = None,
+          rs_list: list[tuple[int, int]] | None = None) -> FigureResult:
+    """Figure 12: slowdowns of every competitor versus parallel ARB.
+
+    Also reports the Section 6.3 counters: the ratio of s-clique
+    discoveries (AND, AND-NN vs ARB) and of peeling rounds (PND vs ARB).
+    """
+    graphs = graphs or ["amazon", "dblp", "youtube", "skitter",
+                        "livejournal", "orkut", "friendster"]
+    rs_list = rs_list or [(2, 3), (3, 4)]
+    rows = []
+    for r, s in rs_list:
+        for name in graphs:
+            if ("fig12", "ARB", name, (r, s)) in PAPER_OMISSIONS:
+                rows.append({"rs": f"({r},{s})", "graph": name,
+                             "algorithm": "ARB",
+                             "note": PAPER_OMISSIONS["fig12", "ARB", name,
+                                                     (r, s)]})
+                continue
+            graph = load_dataset(name)
+            arb = run_arb(graph, r, s, NucleusConfig.optimal(r, s), name)
+            arb_visits = arb.result.tracker.total.cliques_enumerated
+            rows.append({"rs": f"({r},{s})", "graph": name,
+                         "algorithm": "ARB", "slowdown": 1.0,
+                         "T60": arb.time_parallel,
+                         "self_speedup": arb.self_relative_speedup,
+                         "rounds": arb.result.rho, "visits": arb_visits})
+            rows.append({"rs": f"({r},{s})", "graph": name,
+                         "algorithm": "ARB (1 thread)",
+                         "slowdown": arb.time_serial / arb.time_parallel})
+
+            def consider(label, fn, *args, serial=False):
+                key = ("fig12", label, name, (r, s))
+                if key in PAPER_OMISSIONS:
+                    rows.append({"rs": f"({r},{s})", "graph": name,
+                                 "algorithm": label,
+                                 "note": PAPER_OMISSIONS[key]})
+                    return
+                result, time = run_baseline(fn, graph, *args, serial=serial)
+                rows.append({
+                    "rs": f"({r},{s})", "graph": name, "algorithm": label,
+                    "slowdown": time / arb.time_parallel,
+                    "rounds": result.rounds,
+                    "round_ratio": result.rounds / max(1, arb.result.rho),
+                    "visits": result.s_clique_visits,
+                    "visit_ratio": (result.s_clique_visits
+                                    / max(1, arb_visits)),
+                    "memory_words": result.memory_words})
+
+            consider("ND", nd_decomposition, r, s, serial=True)
+            consider("PND", pnd_decomposition, r, s)
+            consider("AND", and_decomposition, r, s)
+            consider("AND-NN", and_nn_decomposition, r, s)
+            if (r, s) == (2, 3):
+                consider("PKT", pkt_decomposition)
+                consider("PKT-OPT-CPU", pkt_opt_cpu_decomposition)
+                consider("MSP", msp_decomposition)
+    text = format_table(
+        rows, ["rs", "graph", "algorithm", "slowdown", "T60", "self_speedup",
+               "rounds", "round_ratio", "visits", "visit_ratio", "note"],
+        "Slowdowns over parallel ARB-NUCLEUS-DECOMP (Figure 12)")
+    return FigureResult("fig12", "baseline comparison", rows, text)
+
+
+def fig13(graphs: list[str] | None = None) -> FigureResult:
+    """Figure 13: per-(r,s) slowdowns over each graph's fastest (r,s)."""
+    graphs = graphs or ["amazon", "dblp", "youtube", "skitter"]
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name)
+        times = {}
+        for r, s in RS_BY_GRAPH[name]:
+            run = run_arb(graph, r, s, NucleusConfig.optimal(r, s), name)
+            times[(r, s)] = run.time_parallel
+        fastest = min(times.values())
+        for (r, s), time in sorted(times.items()):
+            if (r, s) in ((2, 3), (3, 4)):
+                continue  # shown in Figure 12, as in the paper
+            rows.append({"graph": name, "rs": f"({r},{s})",
+                         "slowdown_vs_fastest": time / fastest,
+                         "T60": time})
+    text = format_table(rows, ["graph", "rs", "slowdown_vs_fastest", "T60"],
+                        "Slowdown of each (r,s) over the per-graph fastest")
+    return FigureResult("fig13", "(r,s) sweep", rows, text)
+
+
+def fig14(graphs: list[str] | None = None,
+          rs_list: list[tuple[int, int]] | None = None,
+          thread_counts: list[int] | None = None) -> FigureResult:
+    """Figure 14: scalability over thread counts (simulated Brent times)."""
+    graphs = graphs or ["dblp", "skitter", "livejournal"]
+    rs_list = rs_list or [(2, 3), (2, 4), (3, 4)]
+    thread_counts = thread_counts or [1, 2, 4, 8, 16, 30, 60]
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name)
+        for r, s in rs_list:
+            run = run_arb(graph, r, s, NucleusConfig.optimal(r, s), name)
+            tracker = run.result.tracker
+            row = {"graph": name, "rs": f"({r},{s})"}
+            t1 = DEFAULT_MACHINE.time(tracker, 1)
+            for p in thread_counts:
+                row[f"T{p}"] = DEFAULT_MACHINE.time(tracker, p)
+                row[f"S{p}"] = t1 / row[f"T{p}"]
+            rows.append(row)
+    columns = ["graph", "rs"] + [f"S{p}" for p in thread_counts]
+    text = format_table(rows, columns,
+                        "Self-relative speedup at each thread count")
+    return FigureResult("fig14", "scalability", rows, text)
+
+
+def fig15(scales: list[int] | None = None,
+          edge_factors: list[int] | None = None,
+          rs_list: list[tuple[int, int]] | None = None) -> FigureResult:
+    """Figure 15: runtimes on rMAT graphs of varying size and density."""
+    scales = scales or [8, 9, 10, 11]
+    edge_factors = edge_factors or [4, 8, 16]
+    rs_list = rs_list or [(2, 3), (3, 4), (4, 5)]
+    rows = []
+    for scale in scales:
+        for ef in edge_factors:
+            graph = rmat_graph(scale, ef, seed=scale * 100 + ef)
+            row = {"scale": scale, "edge_factor": ef, "n": graph.n,
+                   "m": graph.m}
+            for r, s in rs_list:
+                run = run_arb(graph, r, s, NucleusConfig.optimal(r, s),
+                              f"rmat{scale}x{ef}")
+                row[f"T({r},{s})"] = run.time_parallel
+                row[f"n_s({r},{s})"] = run.result.n_s_cliques
+            rows.append(row)
+    columns = ["scale", "edge_factor", "n", "m"] + \
+        [f"T({r},{s})" for r, s in rs_list] + \
+        [f"n_s({r},{s})" for r, s in rs_list]
+    text = format_table(rows, columns,
+                        "Parallel runtimes on rMAT graphs (varying density)")
+    return FigureResult("fig15", "rMAT scaling", rows, text)

@@ -1,0 +1,47 @@
+"""Rendering figure results into Markdown reports.
+
+Used to (re)generate the tables embedded in EXPERIMENTS.md: each
+:class:`~repro.experiments.harness.FigureResult` becomes a Markdown
+section with a pipe table, and :func:`render_report` stitches sections
+together with front matter.
+"""
+
+from __future__ import annotations
+
+from .harness import FigureResult
+
+
+def markdown_table(rows: list[dict], columns: list[str],
+                   floatfmt: str = "{:.3g}") -> str:
+    """Render rows as a GitHub-flavored Markdown table."""
+    if not rows:
+        return "*(no rows)*\n"
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value) if value is not None else ""
+
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(col, "")) for col in
+                                       columns) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def figure_section(result: FigureResult, columns: list[str],
+                   commentary: str = "") -> str:
+    """One Markdown section for a figure's measured rows."""
+    parts = [f"### {result.figure}: {result.title}\n"]
+    if commentary:
+        parts.append(commentary.strip() + "\n")
+    parts.append(markdown_table(result.rows, columns))
+    return "\n".join(parts)
+
+
+def render_report(title: str, preamble: str,
+                  sections: list[str]) -> str:
+    """Assemble a full Markdown report."""
+    body = "\n".join(sections)
+    return f"# {title}\n\n{preamble.strip()}\n\n{body}"

@@ -1,0 +1,24 @@
+"""Graph substrate: CSR storage, IO, generators, datasets, transforms."""
+
+from .contraction import ContractionManager, WorkingGraph
+from .csr import CSRGraph, DirectedGraph
+from .datasets import DATASETS, dataset_names, load_dataset
+from .generators import (barabasi_albert, complete_graph, cycle_graph,
+                         erdos_renyi, figure1_graph, planted_partition,
+                         rmat_graph, star_graph)
+from .io import read_edge_list, write_edge_list
+from .relabel import relabel_by_rank
+from .stats import (GraphProfile, average_local_clustering,
+                    degree_statistics, global_clustering_coefficient,
+                    profile_graph)
+
+__all__ = [
+    "CSRGraph", "DirectedGraph",
+    "read_edge_list", "write_edge_list",
+    "rmat_graph", "erdos_renyi", "barabasi_albert", "planted_partition",
+    "complete_graph", "cycle_graph", "star_graph", "figure1_graph",
+    "DATASETS", "dataset_names", "load_dataset",
+    "relabel_by_rank", "WorkingGraph", "ContractionManager",
+    "profile_graph", "GraphProfile", "degree_statistics",
+    "global_clustering_coefficient", "average_local_clustering",
+]

@@ -1,0 +1,93 @@
+"""Graph contraction for (2,3) nucleus (truss) decomposition (Section 5.6).
+
+When many edges have been peeled, iterating over them during neighborhood
+intersections is wasted work.  The paper periodically filters peeled edges
+out of adjacency lists, using two heuristics chosen on real graphs:
+
+* contract only when the number of edges peeled since the previous
+  contraction is at least ``2 n``;
+* rebuild only the adjacency lists of vertices that lost at least a
+  quarter of their neighbors since the previous contraction.
+
+This optimization is specific to r = 2: a peeled r-clique for r > 2 has no
+natural edge to remove, since its edges may support other live r-cliques.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.runtime import CostTracker, _log2
+from .csr import CSRGraph
+
+
+class WorkingGraph:
+    """A mutable adjacency view over a :class:`CSRGraph`.
+
+    Starts as zero-copy views into the CSR arrays; contraction replaces
+    individual adjacency lists with filtered copies.  Neighbor arrays stay
+    sorted, so intersection code is unaffected.
+    """
+
+    def __init__(self, graph: CSRGraph):
+        self.n = graph.n
+        self._adj: list[np.ndarray] = [graph.neighbors(v) for v in range(graph.n)]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        return int(self._adj[v].size)
+
+    def replace(self, v: int, neighbors: np.ndarray) -> None:
+        self._adj[v] = neighbors
+
+
+class ContractionManager:
+    """Implements the Section 5.6 heuristics over a :class:`WorkingGraph`."""
+
+    #: Contract when peeled-since-last >= PEEL_FACTOR * n.
+    PEEL_FACTOR = 2
+    #: Rebuild a vertex that lost >= its degree / LOSS_DIVISOR neighbors.
+    LOSS_DIVISOR = 4
+
+    def __init__(self, working: WorkingGraph, tracker: CostTracker | None = None):
+        self.working = working
+        self.tracker = tracker
+        self._peeled_since = 0
+        self._lost_since = np.zeros(working.n, dtype=np.int64)
+        self.contractions = 0
+
+    def note_peeled_edge(self, u: int, v: int) -> None:
+        """Record that edge (u, v) was peeled this round."""
+        self._peeled_since += 1
+        self._lost_since[u] += 1
+        self._lost_since[v] += 1
+
+    def maybe_contract(self, edge_alive) -> bool:
+        """Contract if the heuristics fire.
+
+        ``edge_alive(u, v)`` must report whether the undirected edge still
+        carries a live (unpeeled) 2-clique.  Returns True if a contraction
+        happened.
+        """
+        if self._peeled_since < self.PEEL_FACTOR * self.working.n:
+            return False
+        self.contractions += 1
+        rebuilt_work = 0
+        for v in range(self.working.n):
+            degree = self.working.degree(v)
+            if degree == 0 or self._lost_since[v] * self.LOSS_DIVISOR < degree:
+                continue
+            nbrs = self.working.neighbors(v)
+            kept = np.asarray([w for w in nbrs if edge_alive(int(v), int(w))],
+                              dtype=np.int64)
+            self.working.replace(v, kept)
+            rebuilt_work += degree
+            self._lost_since[v] = 0
+        if self.tracker is not None:
+            # Checking every vertex plus the parallel filters that rebuilt.
+            self.tracker.add_work(float(self.working.n + rebuilt_work))
+            self.tracker.add_span(_log2(self.working.n + rebuilt_work))
+        self._peeled_since = 0
+        return True

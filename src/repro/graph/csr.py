@@ -1,0 +1,187 @@
+"""Undirected graphs in compressed sparse row (CSR) format.
+
+The paper stores graphs in CSR in practice (Section 3).  :class:`CSRGraph`
+is the immutable undirected substrate every algorithm here runs on: vertex
+ids are ``0..n-1``, adjacency lists are sorted numpy slices, and edges are
+stored symmetrically (each undirected edge appears in both endpoints'
+lists).  ``m`` counts undirected edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSRGraph:
+    """An immutable, simple, undirected graph in CSR form.
+
+    Construct via :meth:`from_edges` (cleans the input: drops self-loops,
+    deduplicates, symmetrizes) or :meth:`from_adjacency`.
+    """
+
+    def __init__(self, offsets: np.ndarray, targets: np.ndarray):
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.targets = np.asarray(targets, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.size == 0:
+            raise ValueError("offsets must be a non-empty 1-D array")
+        if int(self.offsets[-1]) != self.targets.size:
+            raise ValueError("offsets[-1] must equal len(targets)")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n: int, edges) -> "CSRGraph":
+        """Build from an iterable / array of (u, v) pairs.
+
+        Self-loops are removed, duplicates and both orientations collapse to
+        one undirected edge, and vertex ids must lie in ``[0, n)``.
+        """
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                         dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be pairs")
+        if arr.size and (arr.min() < 0 or arr.max() >= n):
+            raise ValueError("vertex id out of range")
+        u, v = arr[:, 0], arr[:, 1]
+        keep = u != v
+        u, v = u[keep], v[keep]
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        if lo.size:
+            packed = lo * np.int64(n) + hi
+            packed = np.unique(packed)
+            lo, hi = packed // n, packed % n
+        both_src = np.concatenate([lo, hi])
+        both_dst = np.concatenate([hi, lo])
+        order = np.lexsort((both_dst, both_src))
+        both_src, both_dst = both_src[order], both_dst[order]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        counts = np.bincount(both_src, minlength=n)
+        offsets[1:] = np.cumsum(counts)
+        return cls(offsets, both_dst)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: list) -> "CSRGraph":
+        """Build from a list of per-vertex neighbor iterables (symmetric)."""
+        edges = [(u, v) for u, nbrs in enumerate(adjacency) for v in nbrs]
+        return cls.from_edges(len(adjacency), edges)
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def m(self) -> int:
+        return self.targets.size // 2
+
+    def degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (a view, do not mutate)."""
+        return self.targets[self.offsets[v]:self.offsets[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return i < nbrs.size and nbrs[i] == v
+
+    def edges(self) -> np.ndarray:
+        """All undirected edges as an (m, 2) array with u < v."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        mask = src < self.targets
+        return np.column_stack([src[mask], self.targets[mask]])
+
+    # -- derived graphs -------------------------------------------------------
+
+    def relabeled(self, new_id: np.ndarray) -> "CSRGraph":
+        """The same graph with vertex ``v`` renamed ``new_id[v]``."""
+        new_id = np.asarray(new_id, dtype=np.int64)
+        if new_id.size != self.n or np.unique(new_id).size != self.n:
+            raise ValueError("new_id must be a permutation of 0..n-1")
+        edges = self.edges()
+        return CSRGraph.from_edges(self.n, np.column_stack(
+            [new_id[edges[:, 0]], new_id[edges[:, 1]]]))
+
+    def induced_subgraph(self, vertices) -> tuple["CSRGraph", np.ndarray]:
+        """The subgraph induced by ``vertices``.
+
+        Returns ``(subgraph, originals)`` where ``originals[i]`` is the
+        original id of the subgraph's vertex ``i``.
+        """
+        verts = np.unique(np.asarray(vertices, dtype=np.int64))
+        local = -np.ones(self.n, dtype=np.int64)
+        local[verts] = np.arange(verts.size)
+        edges = self.edges()
+        mask = (local[edges[:, 0]] >= 0) & (local[edges[:, 1]] >= 0)
+        kept = edges[mask]
+        sub = CSRGraph.from_edges(
+            verts.size, np.column_stack([local[kept[:, 0]], local[kept[:, 1]]]))
+        return sub, verts
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, m={self.m})"
+
+
+class DirectedGraph:
+    """An oriented graph: each vertex's *out*-neighbors, sorted ascending.
+
+    Produced by applying an acyclic orientation (a vertex ranking) to a
+    :class:`CSRGraph`; the nucleus algorithms only ever consult
+    out-neighborhoods, whose sizes the O(alpha)-orientation bounds.
+    """
+
+    def __init__(self, offsets: np.ndarray, targets: np.ndarray):
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.targets = np.asarray(targets, dtype=np.int64)
+
+    @classmethod
+    def orient(cls, graph: CSRGraph, rank: np.ndarray) -> "DirectedGraph":
+        """Direct each edge from lower ``rank`` to higher ``rank``.
+
+        Ties are impossible because ``rank`` must be a permutation.
+        """
+        rank = np.asarray(rank, dtype=np.int64)
+        edges = graph.edges()
+        u, v = edges[:, 0], edges[:, 1]
+        forward = rank[u] < rank[v]
+        src = np.where(forward, u, v)
+        dst = np.where(forward, v, u)
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        offsets = np.zeros(graph.n + 1, dtype=np.int64)
+        offsets[1:] = np.cumsum(np.bincount(src, minlength=graph.n))
+        return cls(offsets, dst)
+
+    @property
+    def n(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def m(self) -> int:
+        return self.targets.size
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        return self.targets[self.offsets[v]:self.offsets[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @property
+    def max_out_degree(self) -> int:
+        degs = self.out_degrees
+        return int(degs.max()) if degs.size else 0
+
+    def __repr__(self) -> str:
+        return f"DirectedGraph(n={self.n}, m={self.m}, max_out={self.max_out_degree})"

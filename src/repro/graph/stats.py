@@ -1,0 +1,91 @@
+"""Structural graph statistics.
+
+Descriptive statistics used by the CLI, the dataset documentation, and the
+experiment harness when characterizing inputs: degree distribution moments,
+clustering coefficients, and a one-call profile combining them with
+degeneracy and clique counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cliques.counting import triangle_count
+from ..cliques.orient import degeneracy
+from .csr import CSRGraph
+
+
+def degree_statistics(graph: CSRGraph) -> dict:
+    """Min / max / mean / median degree and the degree skew."""
+    degrees = graph.degrees
+    if degrees.size == 0:
+        return {"min": 0, "max": 0, "mean": 0.0, "median": 0.0, "skew": 0.0}
+    mean = float(degrees.mean())
+    std = float(degrees.std())
+    skew = 0.0
+    if std > 0:
+        skew = float(((degrees - mean) ** 3).mean() / std ** 3)
+    return {"min": int(degrees.min()), "max": int(degrees.max()),
+            "mean": mean, "median": float(np.median(degrees)), "skew": skew}
+
+
+def global_clustering_coefficient(graph: CSRGraph) -> float:
+    """Transitivity: 3 * triangles / wedges."""
+    degrees = graph.degrees.astype(np.int64)
+    wedges = int((degrees * (degrees - 1) // 2).sum())
+    if wedges == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / wedges
+
+
+def average_local_clustering(graph: CSRGraph, sample: int | None = None,
+                             seed: int = 0) -> float:
+    """Mean local clustering coefficient (optionally vertex-sampled)."""
+    vertices = np.arange(graph.n)
+    if sample is not None and sample < graph.n:
+        rng = np.random.default_rng(seed)
+        vertices = rng.choice(graph.n, size=sample, replace=False)
+    total = 0.0
+    counted = 0
+    for v in vertices:
+        nbrs = graph.neighbors(int(v))
+        k = nbrs.size
+        if k < 2:
+            continue
+        links = 0
+        nbr_set = set(map(int, nbrs))
+        for u in nbrs:
+            links += sum(1 for w in graph.neighbors(int(u))
+                         if int(w) > int(u) and int(w) in nbr_set)
+        total += 2.0 * links / (k * (k - 1))
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+@dataclass
+class GraphProfile:
+    """One-call structural profile of a graph."""
+
+    n: int
+    m: int
+    degree: dict
+    degeneracy: int
+    triangles: int
+    transitivity: float
+
+    def as_dict(self) -> dict:
+        return {"n": self.n, "m": self.m, "degree": self.degree,
+                "degeneracy": self.degeneracy, "triangles": self.triangles,
+                "transitivity": self.transitivity}
+
+
+def profile_graph(graph: CSRGraph) -> GraphProfile:
+    """Compute the full :class:`GraphProfile` for ``graph``."""
+    return GraphProfile(
+        n=graph.n, m=graph.m,
+        degree=degree_statistics(graph),
+        degeneracy=degeneracy(graph) if graph.m else 0,
+        triangles=triangle_count(graph),
+        transitivity=global_clustering_coefficient(graph))

@@ -1,0 +1,117 @@
+"""Set-associative LRU cache simulator.
+
+The practical optimizations of Section 5 are, at heart, cache optimizations:
+contiguous slabs for the last-level tables (5.2), stored up-pointers instead
+of binary searches (5.3), and orientation-order relabeling (5.4) all change
+*which simulated addresses are touched in what order* when the clique table
+``T`` is accessed.  Since we cannot observe a real machine's caches from
+Python, this module simulates one: data structures map their cells into a
+flat simulated address space, and every access is fed through a classic
+set-associative LRU model.  Miss counts then feed the
+:class:`~repro.parallel.runtime.MachineModel` time estimate.
+
+The default geometry is a small L2-like cache; the figures only compare
+configurations against each other, so the geometry's role is to make
+locality differences visible, not to match Cascade Lake byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CacheSimulator:
+    """A ``n_sets x ways`` LRU cache over a flat word-addressed space.
+
+    Parameters
+    ----------
+    line_words:
+        Words (table cells) per cache line; must be a power of two.
+    n_sets:
+        Number of sets; must be a power of two.
+    ways:
+        Associativity.
+    sample:
+        Simulate only every ``sample``-th access (1 = all).  Miss and access
+        counts are scaled back up so ratios remain comparable.
+    """
+
+    def __init__(self, line_words: int = 8, n_sets: int = 256, ways: int = 8,
+                 sample: int = 1):
+        if line_words & (line_words - 1):
+            raise ValueError("line_words must be a power of two")
+        if n_sets & (n_sets - 1):
+            raise ValueError("n_sets must be a power of two")
+        self.line_bits = line_words.bit_length() - 1
+        self.set_mask = n_sets - 1
+        self.ways = ways
+        self.sample = max(1, sample)
+        self._tags = np.full((n_sets, ways), -1, dtype=np.int64)
+        self._stamp = np.zeros((n_sets, ways), dtype=np.int64)
+        self._clock = 0
+        self._skip = 0
+        self._raw_accesses = 0
+        self._raw_misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self._raw_accesses * self.sample
+
+    @property
+    def misses(self) -> int:
+        return self._raw_misses * self.sample
+
+    @property
+    def miss_rate(self) -> float:
+        return self._raw_misses / self._raw_accesses if self._raw_accesses else 0.0
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on a hit (of a sampled access)."""
+        if self.sample > 1:
+            self._skip += 1
+            if self._skip < self.sample:
+                return True
+            self._skip = 0
+        self._raw_accesses += 1
+        self._clock += 1
+        line = address >> self.line_bits
+        set_idx = line & self.set_mask
+        tags = self._tags[set_idx]
+        hit = np.flatnonzero(tags == line)
+        if hit.size:
+            self._stamp[set_idx, hit[0]] = self._clock
+            return True
+        self._raw_misses += 1
+        victim = int(np.argmin(self._stamp[set_idx]))
+        tags[victim] = line
+        self._stamp[set_idx, victim] = self._clock
+        return False
+
+    def reset_counters(self) -> None:
+        self._raw_accesses = 0
+        self._raw_misses = 0
+
+
+class AddressSpace:
+    """Allocates disjoint simulated address ranges to data structures.
+
+    Non-contiguous allocations are deliberately spread out (separated by a
+    random-ish stride) the way independent ``malloc`` blocks are, while
+    contiguous allocation packs ranges back to back --- reproducing the
+    §5.2 distinction the cache simulator is meant to observe.
+    """
+
+    #: Gap inserted between independently-allocated blocks, mimicking heap
+    #: fragmentation between separate allocations.
+    SCATTER_GAP = 4096 + 64
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def alloc(self, words: int, contiguous_with_previous: bool = False) -> int:
+        """Reserve ``words`` cells; returns the base address."""
+        if not contiguous_with_previous:
+            self._next += self.SCATTER_GAP
+        base = self._next
+        self._next += int(words)
+        return base

@@ -1,0 +1,24 @@
+"""Simulated parallel runtime: work-span accounting and primitives."""
+
+from .atomics import AtomicArray, ContentionMeter
+from .hashtable import EMPTY_KEY, ParallelHashTable, hash64
+from .primitives import (histogram, intersect_many, intersect_sorted,
+                         pack_indices, parallel_filter, parallel_max,
+                         parallel_min, parallel_reduce, prefix_sum)
+from .runtime import CostTracker, MachineModel, PhaseStats
+from .scheduler import (ScheduleResult, TaskGraph, parfor_graph,
+                        simulate_work_stealing)
+from .sort import sample_sort, semisort
+from .unionfind import UnionFind
+
+__all__ = [
+    "CostTracker", "MachineModel", "PhaseStats",
+    "ParallelHashTable", "EMPTY_KEY", "hash64",
+    "AtomicArray", "ContentionMeter",
+    "prefix_sum", "parallel_filter", "pack_indices", "parallel_reduce",
+    "parallel_max", "parallel_min", "histogram",
+    "intersect_sorted", "intersect_many",
+    "sample_sort", "semisort",
+    "TaskGraph", "ScheduleResult", "simulate_work_stealing", "parfor_graph",
+    "UnionFind",
+]

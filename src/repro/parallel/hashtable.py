@@ -1,0 +1,194 @@
+"""Open-addressing parallel hash table (the paper's workhorse structure).
+
+The paper assumes parallel hash tables supporting ``n`` inserts / deletes /
+queries in ``O(n)`` work and ``O(log n)`` span w.h.p. (Section 3), and uses
+them for adjacency intersection, the clique-count table ``T``, and the
+updated-set ``U``.  This implementation is a linear-probing table over numpy
+arrays, mirroring the layout of the C++ original closely enough that the
+paper's layout-sensitive optimizations (contiguous allocation, stored
+pointers, the reserved top bit distinguishing empty cells, Section 5.3) can
+be reproduced on top of it.
+
+Cost accounting: each probe charges one unit of work to the attached
+tracker, and each touched slot is reported to the cache simulator as an
+address ``base_address + slot`` so that probe locality is visible to the
+machine model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .runtime import CostTracker
+
+#: Sentinel key marking an empty cell.  The paper reserves the top bit of
+#: each key to flag emptiness (Section 5.3); all-ones is the canonical
+#: empty pattern under that convention.
+EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_MASK64 = (1 << 64) - 1
+
+
+def hash64(key: int) -> int:
+    """A splitmix64-style finalizer: deterministic, well-mixing, 64-bit."""
+    h = (key + 0x9E3779B97F4A7C15) & _MASK64
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (h ^ (h >> 31)) & _MASK64
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << max(1, (n - 1).bit_length())
+
+
+class ParallelHashTable:
+    """Linear-probing hash table with integer keys and numeric values.
+
+    Parameters
+    ----------
+    capacity_hint:
+        Expected number of entries; the table allocates the next power of
+        two at least ``capacity_hint / max_load``.
+    tracker:
+        Optional :class:`CostTracker` charged one work unit per probe.
+    base_address:
+        Simulated base address of slot 0 (for the cache model).
+    resizable:
+        When False the capacity is frozen -- required when the table is a
+        slab inside a contiguous multi-level layout (Section 5.2), whose
+        slots' global indices must stay stable.
+    """
+
+    def __init__(self, capacity_hint: int = 8, tracker: CostTracker | None = None,
+                 base_address: int = 0, max_load: float = 0.7,
+                 resizable: bool = True):
+        n_slots = _next_power_of_two(max(4, int(capacity_hint / max_load) + 1))
+        self.keys = np.full(n_slots, EMPTY_KEY, dtype=np.uint64)
+        self.values = np.zeros(n_slots, dtype=np.float64)
+        self.size = 0
+        self.max_load = max_load
+        self.tracker = tracker
+        self.base_address = base_address
+        self.resizable = resizable
+
+    @property
+    def n_slots(self) -> int:
+        return self.keys.shape[0]
+
+    # -- internals ----------------------------------------------------------
+
+    def _charge(self, probes: int, first_slot: int) -> None:
+        if self.tracker is not None:
+            self.tracker.add_work(float(probes))
+            self.tracker.add_probes(probes)
+            self.tracker.access(self.base_address + first_slot)
+
+    def _probe(self, key: int) -> tuple[int, bool]:
+        """Find the slot holding ``key`` or the empty slot where it belongs.
+
+        Returns ``(slot, found)``.
+        """
+        mask = self.n_slots - 1
+        slot = hash64(key) & mask
+        first = slot
+        probes = 1
+        keys = self.keys
+        empty = EMPTY_KEY
+        key_u = np.uint64(key)
+        while True:
+            k = keys[slot]
+            if k == key_u:
+                self._charge(probes, first)
+                return slot, True
+            if k == empty:
+                self._charge(probes, first)
+                return slot, False
+            slot = (slot + 1) & mask
+            probes += 1
+
+    def _grow(self) -> None:
+        if not self.resizable:
+            raise RuntimeError("hash table slab is full and frozen (resizable=False)")
+        old_keys, old_values = self.keys, self.values
+        self.keys = np.full(self.n_slots * 2, EMPTY_KEY, dtype=np.uint64)
+        self.values = np.zeros(self.n_slots * 2, dtype=np.float64)
+        self.size = 0
+        for k, v in zip(old_keys, old_values):
+            if k != EMPTY_KEY:
+                slot, found = self._probe(int(k))
+                self.keys[slot] = k
+                self.values[slot] = v
+                self.size += 1
+
+    # -- public API ----------------------------------------------------------
+
+    def insert_or_add(self, key: int, delta: float = 1.0) -> int:
+        """Insert ``key`` with value ``delta``, or add ``delta`` to its value.
+
+        This is the atomic-add insert used by ``COUNT-FUNC`` (Algorithm 2,
+        line 4).  Returns the slot index.
+        """
+        if (self.size + 1) / self.n_slots > self.max_load:
+            self._grow()
+        slot, found = self._probe(key)
+        if found:
+            self.values[slot] += delta
+        else:
+            self.keys[slot] = np.uint64(key)
+            self.values[slot] = delta
+            self.size += 1
+        if self.tracker is not None:
+            self.tracker.add_atomic()
+        return slot
+
+    def set(self, key: int, value: float) -> int:
+        """Insert or overwrite; returns the slot index."""
+        if (self.size + 1) / self.n_slots > self.max_load:
+            self._grow()
+        slot, found = self._probe(key)
+        if not found:
+            self.keys[slot] = np.uint64(key)
+            self.size += 1
+        self.values[slot] = value
+        return slot
+
+    def get(self, key: int, default: float | None = None) -> float | None:
+        slot, found = self._probe(key)
+        if found:
+            return float(self.values[slot])
+        return default
+
+    def slot_of(self, key: int) -> int:
+        """The slot holding ``key``, or -1.  Slots are the paper's implicit
+        r-clique indices when the table is laid out contiguously (5.3)."""
+        slot, found = self._probe(key)
+        return slot if found else -1
+
+    def key_at(self, slot: int) -> int | None:
+        k = self.keys[slot]
+        return None if k == EMPTY_KEY else int(k)
+
+    def __contains__(self, key: int) -> bool:
+        _, found = self._probe(key)
+        return found
+
+    def __len__(self) -> int:
+        return self.size
+
+    def items(self):
+        """Iterate over (key, value) pairs in slot order."""
+        occupied = np.flatnonzero(self.keys != EMPTY_KEY)
+        for slot in occupied:
+            yield int(self.keys[slot]), float(self.values[slot])
+
+    def occupied_slots(self) -> np.ndarray:
+        return np.flatnonzero(self.keys != EMPTY_KEY)
+
+    def clear(self) -> None:
+        """Reset the table; charges work proportional to capacity (the cost
+        the hash-table aggregation option pays every round, Section 5.5)."""
+        if self.tracker is not None:
+            self.tracker.add_work(float(self.n_slots))
+        self.keys.fill(EMPTY_KEY)
+        self.values.fill(0.0)
+        self.size = 0

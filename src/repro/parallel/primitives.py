@@ -1,0 +1,133 @@
+"""Cost-accounted parallel sequence primitives (Section 3 of the paper).
+
+These are the building blocks the paper assumes: prefix sum, filter, pack,
+reduce, and histogram, each taking ``O(n)`` work and ``O(log n)`` span.  The
+real computation is done with numpy (sequentially); the work-span charges
+flow to a :class:`~repro.parallel.runtime.CostTracker` so that simulated
+parallel running times reflect their use.
+
+All functions accept ``tracker=None`` for plain (un-accounted) use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .runtime import CostTracker, _log2
+
+
+def _charge(tracker: CostTracker | None, n: int) -> None:
+    if tracker is not None:
+        tracker.add_work(float(n))
+        tracker.add_span(_log2(n))
+
+
+def prefix_sum(values, tracker: CostTracker | None = None, exclusive: bool = True):
+    """Parallel scan: returns prefix sums (exclusive by default) and the total.
+
+    ``O(n)`` work, ``O(log n)`` span.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    _charge(tracker, arr.size)
+    inclusive = np.cumsum(arr)
+    total = int(inclusive[-1]) if arr.size else 0
+    if exclusive and arr.size:
+        out = np.empty_like(inclusive)
+        out[0] = 0
+        out[1:] = inclusive[:-1]
+        return out, total
+    return inclusive, total
+
+
+def parallel_filter(values, predicate_mask, tracker: CostTracker | None = None):
+    """Parallel filter: keep ``values[i]`` where ``predicate_mask[i]`` is true.
+
+    Order-preserving; ``O(n)`` work, ``O(log n)`` span.
+    """
+    arr = np.asarray(values)
+    mask = np.asarray(predicate_mask, dtype=bool)
+    _charge(tracker, arr.size)
+    return arr[mask]
+
+
+def pack_indices(predicate_mask, tracker: CostTracker | None = None):
+    """Return the indices at which ``predicate_mask`` is true (parallel pack)."""
+    mask = np.asarray(predicate_mask, dtype=bool)
+    _charge(tracker, mask.size)
+    return np.flatnonzero(mask)
+
+
+def parallel_reduce(values, tracker: CostTracker | None = None, op=np.add):
+    """Parallel reduction with an associative operator (default: sum)."""
+    arr = np.asarray(values)
+    _charge(tracker, arr.size)
+    if arr.size == 0:
+        return 0
+    return op.reduce(arr)
+
+
+def parallel_max(values, tracker: CostTracker | None = None):
+    """Parallel maximum; returns ``None`` on empty input."""
+    arr = np.asarray(values)
+    _charge(tracker, arr.size)
+    if arr.size == 0:
+        return None
+    return arr.max()
+
+
+def parallel_min(values, tracker: CostTracker | None = None):
+    """Parallel minimum; returns ``None`` on empty input."""
+    arr = np.asarray(values)
+    _charge(tracker, arr.size)
+    if arr.size == 0:
+        return None
+    return arr.min()
+
+
+def histogram(keys, n_buckets: int, tracker: CostTracker | None = None):
+    """Count occurrences of integer keys in ``[0, n_buckets)``.
+
+    Used to size buckets before a semisort-style grouping.  ``O(n)`` work,
+    ``O(log n)`` span.
+    """
+    arr = np.asarray(keys, dtype=np.int64)
+    _charge(tracker, arr.size + n_buckets)
+    return np.bincount(arr, minlength=n_buckets)
+
+
+def intersect_sorted(a, b, tracker: CostTracker | None = None):
+    """Intersect two sorted integer arrays.
+
+    Charged at ``O(min(|a|, |b|))`` work and ``O(log(|a|+|b|))`` span, the
+    hash-table intersection bound the paper assumes (Section 3); the actual
+    computation uses a merge for exactness.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if tracker is not None:
+        # Work only: intersection span is charged analytically by callers
+        # (one O(log n) term per recursion level), because intersections
+        # inside a parallel region run concurrently, not back to back.
+        tracker.add_work(float(min(a.size, b.size)) + 1.0)
+    if a.size == 0 or b.size == 0:
+        return a[:0]
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def intersect_many(arrays, tracker: CostTracker | None = None):
+    """Intersect several sorted arrays; cost ``O(min_i |a_i|)`` work.
+
+    Implements the multi-table intersection bound of Section 3 by probing
+    the smallest array against the others.
+    """
+    arrays = [np.asarray(a) for a in arrays]
+    if not arrays:
+        raise ValueError("intersect_many requires at least one array")
+    if tracker is not None:
+        tracker.add_work(float(min(a.size for a in arrays)) + 1.0)
+    result = arrays[0]
+    for other in arrays[1:]:
+        if result.size == 0:
+            break
+        result = np.intersect1d(result, other, assume_unique=True)
+    return result

@@ -1,0 +1,304 @@
+"""Work-span cost accounting: the simulated parallel machine.
+
+The paper evaluates its algorithms on a 30-core shared-memory machine and
+reasons about them in the classic work-span model (Section 3): the *work* W
+is the total number of operations, the *span* S is the longest dependency
+path, and Brent's theorem bounds the running time on P processors by
+``W/P + S``.
+
+Pure Python cannot express fine-grained shared-memory parallelism (the GIL
+serializes it), so this module provides the substitution described in
+DESIGN.md: algorithms execute sequentially but charge every operation to a
+:class:`CostTracker`, and a :class:`MachineModel` converts the accumulated
+work, span, rounds, contention, and cache statistics into a simulated
+running time for any thread count.  All of the paper's evaluation quantities
+(self-relative speedup, slowdown factors of baselines, scalability curves)
+are functions of these counters.
+
+Typical usage::
+
+    tracker = CostTracker()
+    with tracker.phase("count"):
+        tracker.add_work(123)
+        with tracker.parallel(n_tasks) as region:
+            for item in items:
+                with region.task():
+                    ...  # add_work / add_span inside charges this task
+
+    machine = MachineModel()
+    t30 = machine.time(tracker, threads=30)
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+def _log2(n: float) -> float:
+    """``log2(n)`` clamped below at 1, used for span of size-n primitives."""
+    return max(1.0, math.log2(max(2.0, float(n))))
+
+
+class _Frame:
+    """One level of the span-accounting stack.
+
+    A frame accumulates the span of the serial segment currently executing.
+    Parallel regions push child frames (one per task), take the maximum over
+    their spans, and charge ``max + log2(k)`` to the parent frame --- the
+    fork-join rule of the work-span model.
+    """
+
+    __slots__ = ("span",)
+
+    def __init__(self) -> None:
+        self.span = 0.0
+
+
+class _ParallelRegion:
+    """Accounting context for one parallel-for; see :meth:`CostTracker.parallel`."""
+
+    __slots__ = ("_tracker", "_n", "_max_task_span")
+
+    def __init__(self, tracker: "CostTracker", n_tasks: int) -> None:
+        self._tracker = tracker
+        self._n = max(1, n_tasks)
+        self._max_task_span = 0.0
+
+    @contextmanager
+    def task(self):
+        """Run one parallel task; its span contributes via a max, not a sum."""
+        frame = _Frame()
+        self._tracker._frames.append(frame)
+        try:
+            yield frame
+        finally:
+            self._tracker._frames.pop()
+            if frame.span > self._max_task_span:
+                self._max_task_span = frame.span
+
+    def task_span(self, span: float) -> None:
+        """Record a task's span without a context manager (cheaper in loops)."""
+        if span > self._max_task_span:
+            self._max_task_span = span
+
+    def close(self) -> None:
+        self._tracker.add_span(self._max_task_span + _log2(self._n))
+
+
+@dataclass
+class PhaseStats:
+    """Counters for one named phase of an algorithm."""
+
+    work: float = 0.0
+    span: float = 0.0
+    rounds: int = 0
+    atomic_ops: int = 0
+    contention: float = 0.0
+    cliques_enumerated: int = 0
+    table_probes: int = 0
+
+    def merge(self, other: "PhaseStats") -> None:
+        self.work += other.work
+        self.span += other.span
+        self.rounds += other.rounds
+        self.atomic_ops += other.atomic_ops
+        self.contention += other.contention
+        self.cliques_enumerated += other.cliques_enumerated
+        self.table_probes += other.table_probes
+
+
+class CostTracker:
+    """Accumulates work, span, and auxiliary counters for one algorithm run.
+
+    The tracker is the single point through which all simulated-machine
+    accounting flows.  Algorithms charge costs with :meth:`add_work` and
+    :meth:`add_span`; structured parallelism uses :meth:`parallel`.
+
+    Counters beyond work/span:
+
+    * ``rounds`` -- peeling rounds (each implies a barrier on a real machine).
+    * ``atomic_ops`` / ``contention`` -- simulated fetch-and-adds and the
+      serialized span they add when they collide on one address.
+    * ``cliques_enumerated`` -- how many s-cliques were discovered; the paper
+      reports this to explain why AND/AND-NN are not work-efficient.
+    * ``table_probes`` -- hash-table probe count (cache-pressure proxy).
+    * ``cache`` -- optional :class:`repro.machine.cache.CacheSimulator`; when
+      attached, data structures feed it their address streams.
+    """
+
+    def __init__(self) -> None:
+        self.total = PhaseStats()
+        self.phases: dict[str, PhaseStats] = {}
+        self.cache = None  # optional CacheSimulator
+        self.peak_memory_units = 0
+        self._frames: list[_Frame] = [_Frame()]
+        self._phase_stack: list[str] = []
+
+    # -- charging ---------------------------------------------------------
+
+    def add_work(self, amount: float) -> None:
+        self.total.work += amount
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].work += amount
+
+    def add_span(self, amount: float) -> None:
+        """Charge span to the current frame.
+
+        Inside a parallel task, the charge lands on the task's frame and
+        combines with sibling tasks by *max* when the region closes; the
+        authoritative critical-path length is the root frame's
+        (:attr:`span`).  Per-phase span tallies are flat sums kept for
+        profiling only.
+        """
+        self._frames[-1].span += amount
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].span += amount
+
+    def add_round(self, count: int = 1) -> None:
+        self.total.rounds += count
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].rounds += count
+
+    def add_atomic(self, count: int = 1) -> None:
+        self.total.atomic_ops += count
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].atomic_ops += count
+
+    def add_contention(self, serialized_span: float) -> None:
+        """Charge span serialized by atomics colliding on a single address."""
+        self.total.contention += serialized_span
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].contention += serialized_span
+
+    def add_cliques(self, count: int) -> None:
+        self.total.cliques_enumerated += count
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].cliques_enumerated += count
+
+    def add_probes(self, count: int) -> None:
+        self.total.table_probes += count
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].table_probes += count
+
+    def note_memory_units(self, units: int) -> None:
+        """Record a high-water mark of data-structure memory (paper units)."""
+        if units > self.peak_memory_units:
+            self.peak_memory_units = units
+
+    def access(self, address: int) -> None:
+        """Feed one memory access to the attached cache simulator, if any."""
+        if self.cache is not None:
+            self.cache.access(address)
+
+    # -- structure --------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute costs charged inside the block to a named phase."""
+        if name not in self.phases:
+            self.phases[name] = PhaseStats()
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    @contextmanager
+    def parallel(self, n_tasks: int):
+        """A parallel-for over ``n_tasks``; spans of tasks combine by max."""
+        region = _ParallelRegion(self, n_tasks)
+        try:
+            yield region
+        finally:
+            region.close()
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def work(self) -> float:
+        return self.total.work
+
+    @property
+    def span(self) -> float:
+        """Critical-path length: the root frame's accumulated span."""
+        return self._frames[0].span
+
+    @property
+    def rounds(self) -> int:
+        return self.total.rounds
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot, convenient for harness tables and tests."""
+        out = {
+            "work": self.total.work,
+            "span": self.span,
+            "rounds": self.total.rounds,
+            "atomic_ops": self.total.atomic_ops,
+            "contention": self.total.contention,
+            "cliques_enumerated": self.total.cliques_enumerated,
+            "table_probes": self.total.table_probes,
+            "peak_memory_units": self.peak_memory_units,
+        }
+        if self.cache is not None:
+            out["cache_accesses"] = self.cache.accesses
+            out["cache_misses"] = self.cache.misses
+        return out
+
+
+@dataclass
+class MachineModel:
+    """Converts :class:`CostTracker` counters into simulated running time.
+
+    The model follows Brent's bound ``W/P + S`` with three realism terms the
+    paper's evaluation depends on:
+
+    * a per-round barrier cost growing with ``log2(P)`` (global peeling
+      synchronizes every round -- this is what makes PND's 10^4x round
+      blowup catastrophic);
+    * serialized contention span from colliding atomics (what the simple
+      array aggregation of Section 5.5 suffers from);
+    * a cache-miss penalty applied to the tracked miss count (what the
+      contiguous-space / stored-pointer / relabeling optimizations of
+      Sections 5.2--5.4 improve).
+
+    Hyper-threads past the physical core count contribute at a discounted
+    rate (``ht_yield``), reproducing the paper's 30-core/60-thread shape.
+
+    Times are in abstract "operation" units; only ratios are meaningful,
+    which is all the paper's figures report.
+    """
+
+    cores: int = 30
+    ht_yield: float = 0.35
+    span_factor: float = 1.0
+    barrier_base: float = 40.0
+    barrier_per_log_thread: float = 12.0
+    miss_penalty: float = 40.0
+    contention_factor: float = 8.0
+
+    def effective_parallelism(self, threads: int) -> float:
+        """Physical-core-equivalent throughput of ``threads`` threads."""
+        threads = max(1, threads)
+        if threads <= self.cores:
+            return float(threads)
+        return self.cores + self.ht_yield * (threads - self.cores)
+
+    def time(self, tracker: CostTracker, threads: int = 1) -> float:
+        """Simulated running time of a tracked run on ``threads`` threads."""
+        p = self.effective_parallelism(threads)
+        work = tracker.total.work
+        if tracker.cache is not None:
+            work += self.miss_penalty * tracker.cache.misses
+        barrier = self.barrier_base + self.barrier_per_log_thread * _log2(threads)
+        serial_terms = self.span_factor * tracker.span
+        if threads > 1:
+            # Barriers and atomic collisions only hurt parallel executions.
+            serial_terms += tracker.total.rounds * barrier
+            serial_terms += self.contention_factor * tracker.total.contention
+        return work / p + serial_terms
+
+    def speedup(self, tracker: CostTracker, threads: int) -> float:
+        """Self-relative speedup ``T(1)/T(threads)`` for one tracked run."""
+        return self.time(tracker, 1) / self.time(tracker, threads)

@@ -1,0 +1,173 @@
+"""Randomized work-stealing scheduler simulator.
+
+Brent's theorem (Section 3) bounds a computation's running time on P
+processors by ``W/P + S``; a *randomized work-stealing scheduler* such as
+Cilk's (or ParlayLib's, which the paper's implementation uses) achieves
+that bound in expectation.  The :class:`~repro.parallel.runtime.MachineModel`
+uses the bound directly; this module provides the stronger validation: an
+event-driven simulation of P workers executing an explicit fork-join task
+DAG with random stealing, whose makespan can be compared against the bound.
+
+Model: a task's children become runnable when the task's body executes
+(spawn-on-execute), and join continuations carry zero work, so a schedule
+is valid iff parents execute before their children --- which stealing from
+deques guarantees by construction.  The simulation is deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Task:
+    """One node of the fork-join DAG."""
+
+    work: float
+    parent: int = -1
+
+
+class TaskGraph:
+    """A fork-join task DAG built incrementally.
+
+    ``root = g.add(work)`` creates a root task; ``g.spawn(parent, work)``
+    adds a child that becomes runnable once the parent's body has run.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: list[_Task] = []
+        self._children: dict[int, list[int]] = {}
+
+    def add(self, work: float) -> int:
+        """Add a root task; returns its id."""
+        self.tasks.append(_Task(float(work)))
+        return len(self.tasks) - 1
+
+    def spawn(self, parent: int, work: float) -> int:
+        """Add a child of ``parent``; returns its id."""
+        if not 0 <= parent < len(self.tasks):
+            raise IndexError(f"no task {parent}")
+        self.tasks.append(_Task(float(work), parent=parent))
+        child = len(self.tasks) - 1
+        self._children.setdefault(parent, []).append(child)
+        return child
+
+    def children_of(self, task_id: int) -> list[int]:
+        return self._children.get(task_id, [])
+
+    @property
+    def total_work(self) -> float:
+        """W: the sum of all task bodies."""
+        return sum(t.work for t in self.tasks)
+
+    def critical_path(self) -> float:
+        """S: the longest root-to-leaf chain of work (iterative DFS)."""
+        best = 0.0
+        roots = [i for i, t in enumerate(self.tasks) if t.parent < 0]
+        stack = [(i, self.tasks[i].work) for i in roots]
+        while stack:
+            node, depth = stack.pop()
+            kids = self.children_of(node)
+            if not kids:
+                best = max(best, depth)
+            for kid in kids:
+                stack.append((kid, depth + self.tasks[kid].work))
+        return best
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulated execution."""
+
+    makespan: float
+    steals: int
+    worker_busy: np.ndarray  # busy time per worker
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each worker spent computing."""
+        if self.makespan == 0:
+            return 1.0
+        return float(self.worker_busy.mean() / self.makespan)
+
+
+def simulate_work_stealing(graph: TaskGraph, workers: int,
+                           steal_cost: float = 1.0,
+                           seed: int = 0) -> ScheduleResult:
+    """Simulate P workers running the DAG with randomized stealing.
+
+    Each worker owns a deque; it pushes spawned children locally, pops from
+    its own deque's top, and when empty attempts to steal from the *bottom*
+    of a uniformly random victim's deque, paying ``steal_cost`` time per
+    attempt.  Returns the makespan; for any greedy schedule it satisfies
+    ``makespan <= W/P + S`` up to steal overheads.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    rng = np.random.default_rng(seed)
+    deques: list[deque[int]] = [deque() for _ in range(workers)]
+    roots = [i for i, t in enumerate(graph.tasks) if t.parent < 0]
+    for k, root in enumerate(roots):
+        deques[k % workers].append(root)
+
+    busy = np.zeros(workers)
+    final = np.zeros(workers)
+    steals = 0
+    completed = 0
+    total = len(graph.tasks)
+    # Priority queue of (next-free-time, worker).
+    heap = [(0.0, w) for w in range(workers)]
+    heapq.heapify(heap)
+    while completed < total:
+        now, w = heapq.heappop(heap)
+        if deques[w]:
+            task_id = deques[w].pop()
+            work = graph.tasks[task_id].work
+            end = now + work
+            busy[w] += work
+            final[w] = end
+            completed += 1
+            deques[w].extend(graph.children_of(task_id))
+            heapq.heappush(heap, (end, w))
+        else:
+            steals += 1
+            victim = int(rng.integers(workers))
+            end = now + steal_cost
+            if victim != w and deques[victim]:
+                deques[w].append(deques[victim].popleft())
+            final[w] = end
+            heapq.heappush(heap, (end, w))
+    return ScheduleResult(float(final.max()), steals, busy)
+
+
+def parfor_graph(n_tasks: int, work_per_task, fanout: int = 8) -> TaskGraph:
+    """The DAG of a balanced parallel-for: a fanout tree over n leaf tasks.
+
+    ``work_per_task`` is a scalar or a callable ``index -> work``.
+    """
+    graph = TaskGraph()
+    root = graph.add(0.0)
+
+    def leaf_work(i: int) -> float:
+        return float(work_per_task(i)) if callable(work_per_task) \
+            else float(work_per_task)
+
+    # Iterative construction of the fanout tree over index ranges.
+    pending = [(root, 0, n_tasks)]
+    while pending:
+        parent, lo, hi = pending.pop()
+        count = hi - lo
+        if count <= fanout:
+            for i in range(lo, hi):
+                graph.spawn(parent, leaf_work(i))
+            continue
+        step = (count + fanout - 1) // fanout
+        for start in range(lo, hi, step):
+            node = graph.spawn(parent, 0.0)
+            pending.append((node, start, min(hi, start + step)))
+    return graph

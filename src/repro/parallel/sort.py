@@ -1,0 +1,67 @@
+"""Cost-accounted parallel sorting and semisorting.
+
+Two primitives the paper's stack depends on:
+
+* :func:`sample_sort` -- the parallel sample sort of Dhulipala et al.'s
+  GBBS (the paper credits its reordering speed over PKT-OPT-CPU's sort to
+  this routine, Section 6.3): split into sqrt(n)-ish buckets by sampled
+  pivots, sort buckets independently.  O(n log n) work, O(log^2 n) span.
+* :func:`semisort` -- group equal keys together without full ordering, the
+  primitive Julienne uses to scatter ids into buckets.  O(n) work w.h.p.,
+  O(log n) span.
+
+Real computation is numpy; costs flow to the tracker like all primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .runtime import CostTracker, _log2
+
+
+def sample_sort(values, tracker: CostTracker | None = None,
+                oversample: int = 8) -> np.ndarray:
+    """Sort integers with a two-level parallel sample sort.
+
+    The implementation genuinely buckets by sampled pivots and sorts the
+    buckets (so cost accounting reflects actual bucket sizes), then
+    concatenates.  ``O(n log n)`` work, ``O(log^2 n)`` span.
+    """
+    arr = np.asarray(values)
+    n = arr.size
+    if tracker is not None:
+        tracker.add_work(float(n) * _log2(n))
+        tracker.add_span(_log2(n) ** 2)
+    if n <= 1:
+        return arr.copy()
+    n_buckets = max(1, int(np.sqrt(n)))
+    rng = np.random.default_rng(n)  # deterministic per size
+    sample = np.sort(rng.choice(arr, size=min(n, n_buckets * oversample)))
+    pivots = sample[::oversample][1:n_buckets]
+    assignment = np.searchsorted(pivots, arr, side="right")
+    parts = [np.sort(arr[assignment == b]) for b in range(n_buckets)]
+    return np.concatenate([p for p in parts if p.size]) if parts else arr
+
+
+def semisort(keys, values=None, tracker: CostTracker | None = None):
+    """Group records by key: returns ``(unique_keys, groups)``.
+
+    ``groups[i]`` holds the values (or the indices, when ``values`` is
+    None) whose key equals ``unique_keys[i]``.  Grouping does not imply a
+    total order *within* groups beyond input order.  ``O(n)`` work,
+    ``O(log n)`` span --- the bucketing structure's scatter step.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    payload = np.arange(keys.size) if values is None else np.asarray(values)
+    if tracker is not None:
+        tracker.add_work(float(keys.size) + 1.0)
+        tracker.add_span(_log2(keys.size))
+    if keys.size == 0:
+        return np.asarray([], dtype=np.int64), []
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    unique_keys = sorted_keys[np.concatenate([[0], boundaries])]
+    groups = np.split(payload[order], boundaries)
+    return unique_keys, groups

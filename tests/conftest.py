@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.graph.generators import (complete_graph, cycle_graph, erdos_renyi,
+                                    figure1_graph, planted_partition,
+                                    star_graph)
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Figure 1 example graph (7 vertices, 15 edges)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def k6():
+    return complete_graph(6)
+
+
+@pytest.fixture
+def community60():
+    """A 60-vertex planted-partition graph rich in small cliques."""
+    return planted_partition(60, 5, 0.5, 0.02, seed=3)
+
+
+@pytest.fixture
+def sparse100():
+    """A sparse 100-vertex random graph."""
+    return erdos_renyi(100, 180, seed=7)
+
+
+@pytest.fixture
+def ring12():
+    return cycle_graph(12)
+
+
+@pytest.fixture
+def star9():
+    return star_graph(9)

@@ -1,0 +1,116 @@
+"""Tests for the update-aggregation strategies (Section 5.5)."""
+
+import pytest
+
+from repro.core.aggregation import (AGGREGATORS, HashTableAggregator,
+                                    ListBufferAggregator,
+                                    SimpleArrayAggregator, make_aggregator)
+from repro.parallel.atomics import ContentionMeter
+from repro.parallel.runtime import CostTracker
+
+ALL = list(AGGREGATORS.values())
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestCommonBehavior:
+    def test_collects_recorded_cells(self, cls):
+        agg = cls(100, threads=4)
+        agg.begin_round(10, 50)
+        for cell in (5, 9, 42):
+            agg.record(cell)
+        assert sorted(agg.finish_round()) == [5, 9, 42]
+
+    def test_rounds_are_independent(self, cls):
+        agg = cls(100, threads=4)
+        agg.begin_round(10, 50)
+        agg.record(1)
+        agg.finish_round()
+        agg.begin_round(10, 50)
+        agg.record(2)
+        assert sorted(agg.finish_round()) == [2]
+
+    def test_empty_round(self, cls):
+        agg = cls(100)
+        agg.begin_round(0, 0)
+        assert agg.finish_round().size == 0
+
+    def test_many_cells(self, cls):
+        agg = cls(1000, threads=8)
+        agg.begin_round(100, 1000)
+        for cell in range(500):
+            agg.record(cell, thread=cell % 8)
+        assert sorted(agg.finish_round()) == list(range(500))
+
+
+class TestContentionProfiles:
+    def test_simple_array_contends_on_every_record(self):
+        meter = ContentionMeter()
+        agg = SimpleArrayAggregator(100, meter=meter)
+        agg.begin_round(10, 50)
+        for cell in range(20):
+            agg.record(cell)
+        tracker = CostTracker()
+        serialized = meter.settle(tracker)
+        assert serialized == 19  # 20 colliding FAAs serialize
+
+    def test_list_buffer_contends_only_on_blocks(self):
+        meter = ContentionMeter()
+        agg = ListBufferAggregator(1000, threads=2, meter=meter,
+                                   buffer_size=16)
+        agg.begin_round(10, 100)
+        for cell in range(64):
+            agg.record(cell, thread=cell % 2)
+        tracker = CostTracker()
+        serialized = meter.settle(tracker)
+        # 64 records / 16-slot blocks = 4 block reservations.
+        assert serialized <= 4
+
+    def test_hash_table_never_contends(self):
+        tracker = CostTracker()
+        agg = HashTableAggregator(100, tracker=tracker)
+        agg.begin_round(10, 50)
+        for cell in range(20):
+            agg.record(cell)
+        assert tracker.total.contention == 0
+
+    def test_hash_table_pays_clearing(self):
+        tracker = CostTracker()
+        agg = HashTableAggregator(10000, tracker=tracker)
+        agg.begin_round(100, 5000)
+        agg.record(1)
+        before = tracker.work
+        agg.finish_round()
+        assert tracker.work > before  # the clear scans the table
+
+
+class TestListBufferInternals:
+    def test_blocks_do_not_interleave_within_thread(self):
+        agg = ListBufferAggregator(100, threads=1, buffer_size=4)
+        agg.begin_round(1, 50)
+        for cell in range(10):
+            agg.record(cell, thread=0)
+        assert sorted(agg.finish_round()) == list(range(10))
+
+    def test_unused_slots_filtered(self):
+        agg = ListBufferAggregator(100, threads=4, buffer_size=8)
+        agg.begin_round(1, 50)
+        agg.record(7, thread=0)
+        agg.record(9, thread=3)  # two threads, two partially-used blocks
+        out = agg.finish_round()
+        assert sorted(out) == [7, 9]
+
+    def test_hash_sizes_from_estimate(self):
+        agg = HashTableAggregator(10**6)
+        agg.begin_round(2, 10)
+        small_capacity = agg._table.n_slots
+        agg.finish_round()
+        agg.begin_round(1000, 10**5)
+        assert agg._table.n_slots > small_capacity
+
+
+def test_make_aggregator():
+    assert isinstance(make_aggregator("array", 10), SimpleArrayAggregator)
+    assert isinstance(make_aggregator("list_buffer", 10), ListBufferAggregator)
+    assert isinstance(make_aggregator("hash", 10), HashTableAggregator)
+    with pytest.raises(ValueError):
+        make_aggregator("bogus", 10)

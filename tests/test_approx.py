@@ -1,0 +1,75 @@
+"""Tests for sampling-based approximate clique counting."""
+
+import numpy as np
+import pytest
+
+from repro.cliques.approx import approximate_clique_count, estimate_feasible_s
+from repro.cliques.counting import total_clique_count
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (complete_graph, cycle_graph,
+                                    erdos_renyi, planted_partition)
+
+
+class TestExactMode:
+    """sample_fraction >= 1 must count exactly (same charging scheme)."""
+
+    @pytest.mark.parametrize("c", [2, 3, 4, 5])
+    def test_complete_graph(self, c):
+        g = complete_graph(8)
+        estimate = approximate_clique_count(g, c, sample_fraction=1.0)
+        assert estimate.estimate == total_clique_count(g, c)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(60, 300, seed=seed)
+        for c in (3, 4):
+            estimate = approximate_clique_count(g, c, sample_fraction=1.0)
+            assert estimate.estimate == total_clique_count(g, c)
+
+    def test_triangle_free(self):
+        estimate = approximate_clique_count(cycle_graph(20), 3, 1.0)
+        assert estimate.estimate == 0
+
+
+class TestSampling:
+    def test_unbiased_across_seeds(self):
+        """Averaging estimates over seeds converges to the truth."""
+        g = planted_partition(100, 6, 0.5, 0.01, seed=4)
+        truth = total_clique_count(g, 3)
+        estimates = [approximate_clique_count(g, 3, 0.3, seed=s).estimate
+                     for s in range(12)]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_metadata(self):
+        g = erdos_renyi(50, 200, seed=1)
+        estimate = approximate_clique_count(g, 3, 0.25, seed=2)
+        assert estimate.samples == max(1, round(0.25 * estimate.total_edges))
+        assert 0 < estimate.sample_fraction <= 1.0
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(5, [])
+        estimate = approximate_clique_count(g, 3)
+        assert estimate.estimate == 0.0
+        assert estimate.samples == 0
+
+    def test_validation(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            approximate_clique_count(g, 1)
+        with pytest.raises(ValueError):
+            approximate_clique_count(g, 3, sample_fraction=0)
+
+
+class TestFeasibleS:
+    def test_sparse_graph_allows_deep_s(self):
+        g = cycle_graph(50)  # no cliques beyond edges
+        assert estimate_feasible_s(g, 2, budget=1000) == 7
+
+    def test_dense_graph_is_capped(self):
+        g = complete_graph(14)  # clique counts explode with s
+        s = estimate_feasible_s(g, 2, budget=300, sample_fraction=1.0)
+        assert s < 7
+
+    def test_returns_at_least_r_plus_one(self):
+        g = complete_graph(10)
+        assert estimate_feasible_s(g, 3, budget=0, sample_fraction=1.0) == 4

@@ -1,0 +1,81 @@
+"""Tests for simulated atomics and contention metering."""
+
+import numpy as np
+
+from repro.parallel.atomics import AtomicArray, ContentionMeter
+from repro.parallel.runtime import CostTracker
+
+
+class TestContentionMeter:
+    def test_no_conflicts_no_span(self):
+        meter = ContentionMeter()
+        for addr in range(10):
+            meter.record(addr)
+        assert meter.settle(CostTracker()) == 0.0
+
+    def test_collisions_serialize(self):
+        meter = ContentionMeter()
+        for _ in range(5):
+            meter.record(42)
+        tracker = CostTracker()
+        assert meter.settle(tracker) == 4.0
+        assert tracker.total.contention == 4.0
+
+    def test_worst_address_governs(self):
+        meter = ContentionMeter()
+        for _ in range(3):
+            meter.record(1)
+        for _ in range(7):
+            meter.record(2)
+        assert meter.settle(CostTracker()) == 6.0
+
+    def test_settle_resets(self):
+        meter = ContentionMeter()
+        meter.record(1, count=4)
+        meter.settle(CostTracker())
+        assert meter.settle(CostTracker()) == 0.0
+
+    def test_total_conflicts_accumulates(self):
+        meter = ContentionMeter()
+        meter.record(1, count=3)
+        meter.settle(None)
+        meter.record(1, count=2)
+        meter.settle(None)
+        assert meter.total_conflicts == 3
+
+    def test_cost_scaling(self):
+        meter = ContentionMeter(cost_per_conflict=2.5)
+        meter.record(9, count=3)
+        assert meter.settle(CostTracker()) == 5.0
+
+
+class TestAtomicArray:
+    def test_fetch_add_returns_prior(self):
+        arr = AtomicArray(np.zeros(4))
+        assert arr.fetch_add(2, 5.0) == 0.0
+        assert arr.fetch_add(2, 1.0) == 5.0
+        assert arr.values[2] == 6.0
+
+    def test_charges_tracker(self):
+        tracker = CostTracker()
+        arr = AtomicArray(np.zeros(4), tracker=tracker)
+        arr.fetch_add(0, 1.0)
+        arr.read(0)
+        arr.write(1, 2.0)
+        assert tracker.work == 3.0
+        assert tracker.total.atomic_ops == 1
+
+    def test_records_contention(self):
+        meter = ContentionMeter()
+        arr = AtomicArray(np.zeros(4), meter=meter)
+        arr.fetch_add(3, 1.0)
+        arr.fetch_add(3, 1.0)
+        assert meter.settle(CostTracker()) == 1.0
+
+    def test_base_address_offsets_cache_stream(self):
+        from repro.machine.cache import CacheSimulator
+        tracker = CostTracker()
+        tracker.cache = CacheSimulator(line_words=1, n_sets=4, ways=1)
+        arr = AtomicArray(np.zeros(4), tracker=tracker, base_address=100)
+        arr.read(0)
+        assert tracker.cache.accesses == 1

@@ -1,0 +1,129 @@
+"""Tests for the competitor reimplementations (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import (Incidence, and_decomposition,
+                             and_nn_decomposition, h_index,
+                             msp_decomposition, nd_decomposition,
+                             pkt_decomposition, pkt_opt_cpu_decomposition,
+                             pnd_decomposition)
+from repro.core.verify import brute_force_nucleus
+from repro.graph.generators import erdos_renyi
+
+NUCLEUS_BASELINES = [nd_decomposition, pnd_decomposition,
+                     and_decomposition, and_nn_decomposition]
+TRUSS_BASELINES = [pkt_decomposition, pkt_opt_cpu_decomposition,
+                   msp_decomposition]
+
+
+class TestHIndex:
+    def test_classic(self):
+        assert h_index([3, 0, 6, 1, 5]) == 3
+
+    def test_all_equal(self):
+        assert h_index([2, 2, 2]) == 2
+
+    def test_empty(self):
+        assert h_index([]) == 0
+
+    def test_zeroes(self):
+        assert h_index([0, 0]) == 0
+
+
+class TestIncidence:
+    def test_figure1_counts(self, fig1):
+        inc = Incidence(fig1, 3, 4)
+        assert inc.n_r == 14
+        assert inc.n_s == 6
+        # abe participates in three 4-cliques (paper Section 4.2).
+        assert inc.initial_counts[inc.index[(0, 1, 4)]] == 3
+        assert inc.initial_counts[inc.index[(2, 3, 6)]] == 0
+
+    def test_members_have_binomial_size(self, fig1):
+        inc = Incidence(fig1, 2, 3)
+        assert all(len(m) == 3 for m in inc.members)
+
+    def test_words_counts_both_directions(self, fig1):
+        inc = Incidence(fig1, 2, 3)
+        assert inc.words == 2 * 3 * inc.n_s
+
+
+@pytest.mark.parametrize("fn", NUCLEUS_BASELINES)
+class TestNucleusBaselinesCorrect:
+    @pytest.mark.parametrize("r,s", [(2, 3), (3, 4), (2, 4)])
+    def test_community_graph(self, fn, r, s, community60):
+        expected = brute_force_nucleus(community60, r, s)
+        assert fn(community60, r, s).core == expected
+
+    def test_figure1(self, fn, fig1):
+        expected = brute_force_nucleus(fig1, 3, 4)
+        assert fn(fig1, 3, 4).core == expected
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, fn, seed):
+        g = erdos_renyi(30, 120, seed=seed)
+        assert fn(g, 2, 3).core == brute_force_nucleus(g, 2, 3)
+
+
+@pytest.mark.parametrize("fn", TRUSS_BASELINES)
+class TestTrussBaselinesCorrect:
+    def test_community_graph(self, fn, community60):
+        assert fn(community60).core == brute_force_nucleus(community60, 2, 3)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, fn, seed):
+        g = erdos_renyi(35, 150, seed=seed)
+        assert fn(g).core == brute_force_nucleus(g, 2, 3)
+
+    def test_triangle_free(self, fn, ring12):
+        result = fn(ring12)
+        assert set(result.core.values()) == {0}
+
+
+class TestCostSignatures:
+    """The paper's Section 6.3 explanations, as counter relationships."""
+
+    def test_pnd_rounds_equal_r_cliques(self, community60):
+        result = pnd_decomposition(community60, 2, 3)
+        assert result.rounds == result.tracker.total.cliques_enumerated \
+            or result.rounds == len(result.core)
+
+    def test_and_overcounts_scliques(self, community60):
+        inc_scliques = Incidence(community60, 2, 3).n_s
+        result = and_decomposition(community60, 2, 3)
+        # AND re-discovers s-cliques every sweep: far more than n_s.
+        assert result.s_clique_visits > 2 * inc_scliques
+
+    def test_notification_reduces_visits(self, community60):
+        plain = and_decomposition(community60, 2, 3)
+        notified = and_nn_decomposition(community60, 2, 3)
+        assert notified.s_clique_visits < plain.s_clique_visits
+
+    def test_notification_costs_memory(self, community60):
+        plain = and_decomposition(community60, 2, 3)
+        notified = and_nn_decomposition(community60, 2, 3)
+        assert notified.memory_words > plain.memory_words
+
+    def test_nd_is_serial(self, community60):
+        result = nd_decomposition(community60, 2, 3)
+        # Serial: span within a constant factor of work.
+        assert result.tracker.span > 0.2 * result.tracker.work
+
+    def test_pnd_parallelizes_updates(self, community60):
+        pnd = pnd_decomposition(community60, 2, 3)
+        nd = nd_decomposition(community60, 2, 3)
+        # PND's counting and per-peel updates are parallel, so its critical
+        # path is shorter than serial ND's (which equals its work); the gap
+        # widens with graph size since PND's per-peel cost is constant.
+        assert pnd.tracker.span < nd.tracker.span
+
+    def test_pkt_opt_cheaper_than_pkt(self, community60):
+        pkt = pkt_decomposition(community60)
+        opt = pkt_opt_cpu_decomposition(community60)
+        assert opt.tracker.work < pkt.tracker.work
+
+    def test_msp_rescans_dominate(self, community60):
+        msp = msp_decomposition(community60)
+        opt = pkt_opt_cpu_decomposition(community60)
+        assert msp.tracker.phases["peel"].work > \
+            opt.tracker.phases["peel"].work

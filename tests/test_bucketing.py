@@ -1,0 +1,166 @@
+"""Tests for the three bucketing backends (Julienne, Fibonacci, dense)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bucketing import (BUCKETING_BACKENDS, DenseBucketing,
+                             FibonacciBucketing, JulienneBucketing,
+                             make_bucketing)
+from repro.parallel.runtime import CostTracker
+
+BACKENDS = list(BUCKETING_BACKENDS.values())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBasics:
+    def test_extracts_minimum_first(self, backend):
+        b = backend([10, 20, 30], [5, 2, 9])
+        value, ids = b.next_bucket()
+        assert value == 2
+        assert list(ids) == [20]
+
+    def test_groups_equal_values(self, backend):
+        b = backend([1, 2, 3, 4], [7, 3, 7, 3])
+        value, ids = b.next_bucket()
+        assert value == 3
+        assert sorted(ids) == [2, 4]
+
+    def test_drains_in_nondecreasing_order(self, backend):
+        values = [4, 1, 3, 1, 9, 4, 0]
+        b = backend(list(range(7)), values)
+        seen = []
+        while len(b):
+            value, ids = b.next_bucket()
+            seen.append(value)
+        assert seen == sorted(set(values))
+
+    def test_len_counts_remaining(self, backend):
+        b = backend([0, 1, 2], [1, 1, 5])
+        assert len(b) == 3
+        b.next_bucket()
+        assert len(b) == 1
+
+    def test_empty_raises(self, backend):
+        b = backend([0], [1])
+        b.next_bucket()
+        with pytest.raises(IndexError):
+            b.next_bucket()
+
+    def test_update_moves_to_lower_bucket(self, backend):
+        b = backend([0, 1], [1, 10])
+        b.next_bucket()  # peel id 0 at value 1
+        b.update([1], [4])
+        value, ids = b.next_bucket()
+        assert value == 4
+        assert list(ids) == [1]
+
+    def test_update_clamps_to_peel_floor(self, backend):
+        b = backend([0, 1], [5, 10])
+        value, _ = b.next_bucket()
+        assert value == 5
+        b.update([1], [2])  # below the current peel level
+        value, ids = b.next_bucket()
+        assert value == 5  # clamped: core numbers never go backwards
+        assert list(ids) == [1]
+
+    def test_update_on_extracted_id_ignored(self, backend):
+        b = backend([0, 1], [1, 3])
+        b.next_bucket()
+        b.update([0], [0])  # id 0 already peeled
+        value, ids = b.next_bucket()
+        assert value == 3 and list(ids) == [1]
+
+    def test_value_of(self, backend):
+        b = backend([7, 8], [2, 6])
+        assert b.value_of(7) == 2
+        b.update([8], [4])
+        assert b.value_of(8) == 4
+
+    def test_large_value_gap_skipped(self, backend):
+        b = backend([0, 1], [0, 100000])
+        assert b.next_bucket()[0] == 0
+        assert b.next_bucket()[0] == 100000
+
+    def test_tracker_charged(self, backend):
+        tracker = CostTracker()
+        b = backend([0, 1, 2], [3, 1, 2], tracker=tracker)
+        b.next_bucket()
+        assert tracker.work > 0
+
+
+class TestJulienneSpecifics:
+    def test_window_refills(self):
+        b = JulienneBucketing(list(range(10)), [i * 50 for i in range(10)],
+                              window=4)
+        drained = []
+        while len(b):
+            drained.append(b.next_bucket()[0])
+        assert drained == [i * 50 for i in range(10)]
+        assert b.refills >= 2  # values span far beyond one window
+
+    def test_stale_entries_filtered(self):
+        b = JulienneBucketing([0, 1, 2], [2, 5, 5], window=16)
+        b.next_bucket()
+        b.update([1], [3])
+        b.update([1], [2])  # moved twice: the first entry is now stale
+        value, ids = b.next_bucket()
+        assert value == 2 and list(ids) == [1]
+
+
+class TestDenseSpecifics:
+    def test_doubling_search_charges_work(self):
+        tracker = CostTracker()
+        b = DenseBucketing([0, 1], [0, 4096], tracker=tracker)
+        b.next_bucket()
+        before = tracker.work
+        b.next_bucket()  # long empty-range search
+        assert tracker.work > before
+
+
+class TestFibonacciSpecifics:
+    def test_heap_consolidation_under_churn(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 30, size=100)
+        b = FibonacciBucketing(list(range(100)), values)
+        floor = 0
+        drained = 0
+        while len(b):
+            value, ids = b.next_bucket()
+            assert value >= floor
+            floor = value
+            drained += len(ids)
+        assert drained == 100
+
+
+def test_make_bucketing_by_name():
+    b = make_bucketing("julienne", [0], [1])
+    assert isinstance(b, JulienneBucketing)
+    with pytest.raises(ValueError):
+        make_bucketing("nope", [0], [1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 40), min_size=1, max_size=40), st.data())
+def test_backends_agree_under_peeling(values, data):
+    """All three backends peel identically under the same update stream."""
+    structures = [cls(list(range(len(values))), values) for cls in BACKENDS]
+    reference: list[tuple[int, tuple]] = []
+    while len(structures[0]):
+        extractions = [s.next_bucket() for s in structures]
+        value0, ids0 = extractions[0]
+        for value, ids in extractions[1:]:
+            assert value == value0
+            assert sorted(ids) == sorted(ids0)
+        # Random decrement of some still-alive ids.
+        alive = [i for i in range(len(values)) if structures[0].alive[i]] \
+            if hasattr(structures[0], "alive") else []
+        if alive:
+            chosen = data.draw(st.lists(st.sampled_from(alive), max_size=5,
+                                        unique=True))
+            if chosen:
+                new_values = [max(0, structures[0].value_of(i) - 1)
+                              for i in chosen]
+                for s in structures:
+                    s.update(chosen, new_values)

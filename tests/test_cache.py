@@ -1,0 +1,81 @@
+"""Tests for the cache simulator and simulated address space."""
+
+import pytest
+
+from repro.machine.cache import AddressSpace, CacheSimulator
+
+
+class TestCacheSimulator:
+    def test_cold_miss_then_hit(self):
+        c = CacheSimulator()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.misses == 1
+        assert c.accesses == 2
+
+    def test_line_granularity(self):
+        c = CacheSimulator(line_words=8)
+        c.access(0)
+        assert c.access(7) is True  # same line
+        assert c.access(8) is False  # next line
+
+    def test_lru_eviction(self):
+        c = CacheSimulator(line_words=1, n_sets=1, ways=2)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # refresh 0
+        c.access(2)  # evicts 1
+        assert c.access(0) is True
+        assert c.access(1) is False
+
+    def test_sequential_beats_scattered(self):
+        seq = CacheSimulator()
+        for a in range(4096):
+            seq.access(a)
+        scat = CacheSimulator()
+        for a in range(4096):
+            scat.access((a * 7919) % (1 << 20))
+        assert seq.miss_rate < scat.miss_rate
+
+    def test_sampling_scales_counts(self):
+        c = CacheSimulator(sample=4)
+        for a in range(1000):
+            c.access(a * 100)
+        assert c.accesses == pytest.approx(1000, abs=4)
+        assert c.misses > 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSimulator(line_words=3)
+        with pytest.raises(ValueError):
+            CacheSimulator(n_sets=100)
+
+    def test_reset_counters(self):
+        c = CacheSimulator()
+        c.access(0)
+        c.reset_counters()
+        assert c.accesses == 0
+        assert c.misses == 0
+
+    def test_miss_rate_empty(self):
+        assert CacheSimulator().miss_rate == 0.0
+
+
+class TestAddressSpace:
+    def test_disjoint_allocations(self):
+        space = AddressSpace()
+        a = space.alloc(100)
+        b = space.alloc(100)
+        assert b >= a + 100
+
+    def test_scatter_gap(self):
+        space = AddressSpace()
+        a = space.alloc(10)
+        b = space.alloc(10)
+        assert b - (a + 10) >= AddressSpace.SCATTER_GAP - 10
+
+    def test_contiguous_packing(self):
+        space = AddressSpace()
+        a = space.alloc(10)
+        b = space.alloc(10, contiguous_with_previous=True)
+        assert b == a + 10

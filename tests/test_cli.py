@@ -1,0 +1,108 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import figure1_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.txt"
+    write_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+class TestDecompose:
+    def test_from_file(self, graph_file, capsys):
+        assert main(["decompose", "--input", graph_file,
+                     "--r", "3", "--s", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "r-cliques: 14" in out
+        assert "max core: 2" in out
+
+    def test_histogram(self, graph_file, capsys):
+        main(["decompose", "--input", graph_file, "--r", "3", "--s", "4",
+              "--histogram"])
+        out = capsys.readouterr().out
+        assert "0: 1" in out and "2: 10" in out
+
+    def test_full_listing(self, graph_file, capsys):
+        main(["decompose", "--input", graph_file, "--r", "3", "--s", "4",
+              "--full"])
+        out = capsys.readouterr().out
+        assert "2 3 6 0" in out  # cdg has core 0
+
+    def test_dataset(self, capsys):
+        assert main(["decompose", "--dataset", "amazon",
+                     "--r", "1", "--s", "2"]) == 0
+        assert "nucleus decomposition" in capsys.readouterr().out
+
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["decompose", "--r", "2", "--s", "3"])
+
+    def test_unoptimized_flag(self, graph_file, capsys):
+        assert main(["decompose", "--input", graph_file, "--r", "3",
+                     "--s", "4", "--unoptimized"]) == 0
+        assert "max core: 2" in capsys.readouterr().out
+
+    def test_config_overrides(self, graph_file, capsys):
+        assert main(["decompose", "--input", graph_file, "--r", "3",
+                     "--s", "4", "--levels", "1", "--aggregation", "hash",
+                     "--bucketing", "dense", "--orientation", "degeneracy",
+                     "--no-relabel"]) == 0
+        assert "max core: 2" in capsys.readouterr().out  # same answer
+
+    def test_all_bucketings_agree(self, graph_file, capsys):
+        outputs = set()
+        for backend in ("julienne", "fibonacci", "dense"):
+            main(["decompose", "--input", graph_file, "--r", "3", "--s", "4",
+                  "--bucketing", backend, "--histogram"])
+            out = capsys.readouterr().out
+            outputs.add(out[out.index("core histogram"):])
+        assert len(outputs) == 1
+
+
+class TestGenerate:
+    def test_rmat(self, tmp_path, capsys):
+        out_path = tmp_path / "g.txt"
+        assert main(["generate", "--kind", "rmat", "--scale", "7",
+                     "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("kind", ["erdos-renyi", "community"])
+    def test_other_kinds(self, kind, tmp_path):
+        out_path = tmp_path / "g.txt"
+        assert main(["generate", "--kind", kind, "--scale", "6",
+                     "-o", str(out_path)]) == 0
+        assert out_path.exists()
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, capsys):
+        assert main(["stats", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "n = 7" in out
+        assert "triangles = 14" in out
+        assert "degeneracy = 4" in out
+
+
+class TestFigure:
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["decompose", "--dataset", "dblp",
+                              "--r", "2", "--s", "3"])
+    assert args.r == 2 and args.s == 3
+
+
+def test_missing_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

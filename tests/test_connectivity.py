@@ -1,0 +1,90 @@
+"""Tests for parallel connected components (Shiloach--Vishkin style)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hierarchy import build_hierarchy
+from repro.core.decomp import arb_nucleus_decomp
+from repro.graph.generators import erdos_renyi, planted_partition
+from repro.parallel.connectivity import (components_of_sets,
+                                         connected_components)
+from repro.parallel.runtime import CostTracker
+
+
+class TestConnectedComponents:
+    def test_path(self):
+        labels = connected_components(4, [(0, 1), (1, 2), (2, 3)])
+        assert len(set(labels)) == 1
+
+    def test_two_components(self):
+        labels = connected_components(5, [(0, 1), (2, 3)])
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len({labels[0], labels[2], labels[4]}) == 3
+
+    def test_no_edges(self):
+        labels = connected_components(4, np.zeros((0, 2), dtype=np.int64))
+        assert list(labels) == [0, 1, 2, 3]
+
+    def test_labels_are_component_minimums(self):
+        labels = connected_components(6, [(5, 3), (3, 4)])
+        assert labels[5] == labels[3] == labels[4] == 3
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(150, 160, seed=6)  # sparse: many components
+        labels = connected_components(g.n, g.edges())
+        nx_graph = nx.Graph(list(map(tuple, g.edges())))
+        nx_graph.add_nodes_from(range(g.n))
+        for comp in nx.connected_components(nx_graph):
+            comp_labels = {int(labels[v]) for v in comp}
+            assert len(comp_labels) == 1
+
+    def test_logarithmic_rounds(self):
+        # A long path is the adversarial case for hook-and-compress.
+        n = 1024
+        tracker = CostTracker()
+        connected_components(n, [(i, i + 1) for i in range(n - 1)], tracker)
+        assert tracker.rounds <= 4 * int(np.log2(n)) + 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_property_matches_networkx(self, seed):
+        g = erdos_renyi(40, 45, seed=seed)
+        labels = connected_components(g.n, g.edges())
+        nx_graph = nx.Graph(list(map(tuple, g.edges())))
+        nx_graph.add_nodes_from(range(g.n))
+        assert len(set(labels.tolist())) == \
+            nx.number_connected_components(nx_graph)
+
+
+class TestComponentsOfSets:
+    def test_groups_connect_members(self):
+        labels = components_of_sets(6, [[0, 1, 2], [2, 3], [4, 5]])
+        assert labels[0] == labels[3]
+        assert labels[4] == labels[5]
+        assert labels[0] != labels[4]
+
+    def test_empty_groups(self):
+        labels = components_of_sets(3, [])
+        assert list(labels) == [0, 1, 2]
+
+
+class TestHierarchyBackendsAgree:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_nuclei(self, seed):
+        graph = planted_partition(40, 4, 0.5, 0.02, seed=seed)
+        result = arb_nucleus_decomp(graph, 2, 3)
+        serial = build_hierarchy(graph, result, method="union_find")
+        parallel = build_hierarchy(graph, result,
+                                   method="shiloach_vishkin")
+        key = lambda h: sorted((n.level, n.members) for n in h.nuclei)
+        assert key(serial) == key(parallel)
+
+    def test_method_validated(self):
+        graph = planted_partition(20, 2, 0.5, 0.02, seed=1)
+        result = arb_nucleus_decomp(graph, 2, 3)
+        with pytest.raises(ValueError):
+            build_hierarchy(graph, result, method="magic")

@@ -1,0 +1,61 @@
+"""Tests for clique counting conveniences (repro.cliques.counting)."""
+
+from math import comb
+
+import networkx as nx
+
+from repro.cliques.counting import (edge_support, per_vertex_clique_counts,
+                                    total_clique_count, triangle_count)
+from repro.graph.generators import complete_graph, cycle_graph, figure1_graph
+
+
+class TestTotals:
+    def test_trivial_cases(self, community60):
+        assert total_clique_count(community60, 1) == community60.n
+        assert total_clique_count(community60, 2) == community60.m
+
+    def test_triangles_figure1(self):
+        assert triangle_count(figure1_graph()) == 14
+
+    def test_matches_networkx_triangles(self, community60):
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        expected = sum(nx.triangles(nx_graph).values()) // 3
+        assert triangle_count(community60) == expected
+
+
+class TestPerVertex:
+    def test_sum_identity(self, community60):
+        """Each c-clique is counted by each of its c vertices."""
+        for c in (3, 4):
+            counts = per_vertex_clique_counts(community60, c)
+            assert counts.sum() == c * total_clique_count(community60, c)
+
+    def test_degenerate_cases(self, community60):
+        assert (per_vertex_clique_counts(community60, 1) == 1).all()
+        counts = per_vertex_clique_counts(community60, 2)
+        assert (counts == community60.degrees).all()
+
+    def test_complete_graph(self):
+        counts = per_vertex_clique_counts(complete_graph(6), 3)
+        assert (counts == comb(5, 2)).all()
+
+
+class TestEdgeSupport:
+    def test_sum_is_three_times_triangles(self, community60):
+        support = edge_support(community60)
+        assert sum(support.values()) == 3 * triangle_count(community60)
+
+    def test_every_edge_present(self, community60):
+        support = edge_support(community60)
+        assert len(support) == community60.m
+
+    def test_triangle_free(self):
+        support = edge_support(cycle_graph(10))
+        assert set(support.values()) == {0}
+
+    def test_complete_graph(self):
+        support = edge_support(complete_graph(5))
+        assert set(support.values()) == {3}
+
+    def test_keys_canonical(self, community60):
+        assert all(u < v for u, v in edge_support(community60))

@@ -1,0 +1,125 @@
+"""Tests for the CSR graph substrate (repro.graph.csr)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph, DirectedGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.m == 3
+        assert list(g.neighbors(1)) == [0, 2]
+
+    def test_self_loops_removed(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.m == 1
+        assert g.degree(2) == 0
+
+    def test_duplicates_collapse(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 1), (0, 1)])
+        assert g.m == 1
+        assert g.degree(0) == 1
+
+    def test_symmetry(self):
+        g = CSRGraph.from_edges(5, [(0, 3), (3, 4)])
+        for u in range(5):
+            for v in g.neighbors(u):
+                assert u in g.neighbors(v)
+
+    def test_neighbors_sorted(self):
+        g = CSRGraph.from_edges(6, [(3, 5), (3, 1), (3, 4), (3, 0)])
+        assert list(g.neighbors(3)) == [0, 1, 4, 5]
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, [])
+        assert g.n == 3
+        assert g.m == 0
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(3, np.zeros((2, 3), dtype=np.int64))
+
+    def test_from_adjacency(self):
+        g = CSRGraph.from_adjacency([[1, 2], [0], [0]])
+        assert g.m == 2
+        assert g.degree(0) == 2
+
+    def test_mismatched_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 5]), np.array([1, 2]))
+
+
+class TestQueries:
+    def test_degrees(self, fig1):
+        assert fig1.degree(0) == 5  # a: b,c,d,e,f
+        assert fig1.degree(6) == 2  # g: c,d
+        assert fig1.degrees.sum() == 2 * fig1.m
+
+    def test_has_edge(self, fig1):
+        assert fig1.has_edge(0, 1)
+        assert fig1.has_edge(1, 0)
+        assert not fig1.has_edge(5, 6)  # f-g absent
+
+    def test_edges_each_once(self, fig1):
+        edges = fig1.edges()
+        assert edges.shape == (15, 2)
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_repr(self, fig1):
+        assert "n=7" in repr(fig1) and "m=15" in repr(fig1)
+
+
+class TestDerivedGraphs:
+    def test_relabeled_preserves_structure(self, fig1):
+        perm = np.array([3, 2, 1, 0, 6, 5, 4])
+        h = fig1.relabeled(perm)
+        assert h.m == fig1.m
+        for u, v in fig1.edges():
+            assert h.has_edge(int(perm[u]), int(perm[v]))
+
+    def test_relabeled_requires_permutation(self, fig1):
+        with pytest.raises(ValueError):
+            fig1.relabeled(np.zeros(7, dtype=np.int64))
+
+    def test_induced_subgraph(self, fig1):
+        sub, originals = fig1.induced_subgraph([0, 1, 2, 3, 4])
+        assert sub.n == 5
+        assert sub.m == 10  # the 5-clique
+        assert list(originals) == [0, 1, 2, 3, 4]
+
+    def test_induced_subgraph_drops_cross_edges(self, fig1):
+        sub, _ = fig1.induced_subgraph([5, 6])  # f and g, not adjacent
+        assert sub.m == 0
+
+
+class TestDirectedGraph:
+    def test_orientation_respects_rank(self, fig1):
+        rank = np.arange(7)
+        dg = DirectedGraph.orient(fig1, rank)
+        assert dg.m == fig1.m  # every edge directed exactly once
+        for u in range(7):
+            for v in dg.out_neighbors(u):
+                assert rank[u] < rank[v]
+
+    def test_out_neighbors_sorted(self, fig1):
+        dg = DirectedGraph.orient(fig1, np.arange(7))
+        for u in range(7):
+            out = dg.out_neighbors(u)
+            assert (np.diff(out) > 0).all() if out.size > 1 else True
+
+    def test_max_out_degree(self, k6):
+        dg = DirectedGraph.orient(k6, np.arange(6))
+        assert dg.max_out_degree == 5  # vertex 0 points at everyone
+
+    def test_reversed_rank_flips_edges(self, fig1):
+        fwd = DirectedGraph.orient(fig1, np.arange(7))
+        rev = DirectedGraph.orient(fig1, np.arange(7)[::-1].copy())
+        assert fwd.out_degree(0) == rev.out_degree(0) == 0 or \
+            fwd.out_degree(0) + rev.out_degree(0) == fig1.degree(0)

@@ -1,0 +1,57 @@
+"""Tests for the surrogate dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (DATASETS, LARGE_GRAPHS, SMALL_GRAPHS,
+                                  dataset_names, load_dataset)
+
+
+def test_seven_datasets_in_paper_order():
+    assert dataset_names() == ["amazon", "dblp", "youtube", "skitter",
+                               "livejournal", "orkut", "friendster"]
+
+
+def test_sizes_increase_like_the_paper():
+    sizes = [load_dataset(name).m for name in
+             ("youtube", "skitter", "livejournal", "orkut", "friendster")]
+    assert sizes == sorted(sizes)
+
+
+def test_paper_sizes_recorded():
+    assert DATASETS["friendster"].paper_m > DATASETS["amazon"].paper_m
+    assert DATASETS["amazon"].paper_n == 334_863
+
+
+def test_deterministic():
+    a = DATASETS["youtube"].generate()
+    b = DATASETS["youtube"].generate()
+    assert np.array_equal(a.edges(), b.edges())
+
+
+def test_memoization():
+    assert load_dataset("amazon") is load_dataset("amazon")
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError):
+        load_dataset("facebook")
+
+
+def test_size_scale_shrinks():
+    full = load_dataset("youtube")
+    half = load_dataset("youtube", size_scale=0.5)
+    assert half.n < full.n
+
+
+def test_community_graphs_are_clustered():
+    """amazon/dblp surrogates must be triangle-rich (clustered), like the
+    collaboration networks they stand in for."""
+    from repro.cliques.counting import total_clique_count
+    for name in SMALL_GRAPHS:
+        g = load_dataset(name)
+        assert total_clique_count(g, 3) > g.n / 2
+
+
+def test_large_graphs_listed():
+    assert set(LARGE_GRAPHS) <= set(dataset_names())

@@ -1,0 +1,154 @@
+"""Tests for ARB-NUCLEUS-DECOMP (Algorithm 2) on known instances."""
+
+from math import comb
+
+import networkx as nx
+import pytest
+
+from repro.core.config import NucleusConfig
+from repro.core.decomp import arb_nucleus_decomp
+from repro.core.verify import brute_force_kcore, brute_force_nucleus
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.parallel.runtime import CostTracker
+
+NAMES = "abcdefg"
+
+
+def named(result):
+    return {"".join(NAMES[v] for v in clique): core
+            for clique, core in result.as_dict().items()}
+
+
+class TestFigure1Walkthrough:
+    """Section 4.2 walks through (3,4) on Figure 1 exactly; we assert it."""
+
+    def test_core_numbers(self, fig1):
+        cores = named(arb_nucleus_decomp(fig1, 3, 4))
+        assert cores["cdg"] == 0
+        assert cores["abf"] == cores["aef"] == cores["bef"] == 1
+        others = {k: v for k, v in cores.items()
+                  if k not in ("cdg", "abf", "aef", "bef")}
+        assert len(others) == 10
+        assert set(others.values()) == {2}
+
+    def test_three_rounds(self, fig1):
+        assert arb_nucleus_decomp(fig1, 3, 4).rho == 3
+
+    def test_counts(self, fig1):
+        result = arb_nucleus_decomp(fig1, 3, 4)
+        assert result.n_r_cliques == 14
+        assert result.n_s_cliques == 6
+        assert result.max_core == 2
+
+    def test_core_histogram(self, fig1):
+        hist = arb_nucleus_decomp(fig1, 3, 4).core_histogram()
+        assert hist == {0: 1, 1: 3, 2: 10}
+
+    def test_round_log_matches_figure2(self, fig1):
+        """Figure 2's narrative: round 1 peels cdg (no updates), round 2
+        peels abf/aef/bef (updating abe), round 3 peels the rest."""
+        result = arb_nucleus_decomp(fig1, 3, 4)
+        assert result.round_log == [(0, 1, 0), (1, 3, 1), (2, 10, 0)]
+
+    def test_round_log_totals(self, community60):
+        result = arb_nucleus_decomp(community60, 2, 3)
+        assert sum(peeled for _lvl, peeled, _upd in result.round_log) == \
+            result.n_r_cliques
+        assert len(result.round_log) == result.rho
+
+    def test_core_of_single_clique(self, fig1):
+        result = arb_nucleus_decomp(fig1, 3, 4)
+        assert result.core_of((2, 3, 6)) == 0  # cdg
+        assert result.core_of((0, 1, 5)) == 1  # abf
+        with pytest.raises(KeyError):
+            result.core_of((4, 5, 6))  # efg is not a triangle
+
+
+class TestSpecialCases:
+    def test_12_equals_kcore(self, community60):
+        result = arb_nucleus_decomp(community60, 1, 2)
+        expected = brute_force_kcore(community60)
+        for v in range(community60.n):
+            assert result.core_of((v,)) == expected[v]
+
+    def test_12_matches_networkx(self, community60):
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        nx_core = nx.core_number(nx_graph)
+        result = arb_nucleus_decomp(community60, 1, 2)
+        for v in range(community60.n):
+            assert result.core_of((v,)) == nx_core[v]
+
+    def test_23_is_ktruss(self, community60):
+        result = arb_nucleus_decomp(community60, 2, 3,
+                                    NucleusConfig.optimal(2, 3))
+        assert result.as_dict() == brute_force_nucleus(community60, 2, 3)
+
+    def test_complete_graph_single_round(self):
+        # Every r-clique of K_n sits in C(n-r, s-r) s-cliques; peeling
+        # removes everything in one round.
+        g = complete_graph(7)
+        for r, s in ((1, 2), (2, 3), (2, 4), (3, 5)):
+            result = arb_nucleus_decomp(g, r, s)
+            assert result.rho == 1
+            assert result.max_core == comb(7 - r, s - r)
+            assert set(result.as_dict().values()) == {comb(7 - r, s - r)}
+
+    def test_triangle_free_graph(self, ring12):
+        result = arb_nucleus_decomp(ring12, 2, 3)
+        assert result.max_core == 0
+        assert result.rho == 1
+        assert result.n_s_cliques == 0
+
+    def test_star_kcore_is_one(self, star9):
+        result = arb_nucleus_decomp(star9, 1, 2)
+        assert result.max_core == 1
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(5, [])
+        result = arb_nucleus_decomp(g, 2, 3)
+        assert result.n_r_cliques == 0
+        assert result.rho == 0
+
+    def test_no_r_cliques_at_all(self, ring12):
+        result = arb_nucleus_decomp(ring12, 3, 4)
+        assert result.n_r_cliques == 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("r,s", [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4),
+                                     (3, 5), (4, 5)])
+    def test_community_graph(self, r, s, community60):
+        result = arb_nucleus_decomp(community60, r, s)
+        assert result.as_dict() == brute_force_nucleus(community60, r, s)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_34(self, seed):
+        g = erdos_renyi(40, 160, seed=seed)
+        result = arb_nucleus_decomp(g, 3, 4)
+        assert result.as_dict() == brute_force_nucleus(g, 3, 4)
+
+
+class TestResultMetadata:
+    def test_rho_bounded_by_cliques(self, community60):
+        result = arb_nucleus_decomp(community60, 2, 3)
+        assert 1 <= result.rho <= result.n_r_cliques
+
+    def test_max_core_consistent_with_dict(self, community60):
+        result = arb_nucleus_decomp(community60, 2, 3)
+        assert result.max_core == max(result.as_dict().values())
+
+    def test_tracker_populated(self, community60):
+        tracker = CostTracker()
+        result = arb_nucleus_decomp(community60, 2, 3, tracker=tracker)
+        assert tracker.work > 0
+        assert tracker.rounds >= result.rho
+        assert tracker.total.cliques_enumerated >= result.n_s_cliques
+
+    def test_memory_units_reported(self, community60):
+        result = arb_nucleus_decomp(community60, 2, 3)
+        assert result.table_memory_units > 0
+
+    def test_invalid_rs(self, community60):
+        with pytest.raises(ValueError):
+            arb_nucleus_decomp(community60, 3, 3)

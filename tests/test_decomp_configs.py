@@ -1,0 +1,135 @@
+"""Every optimization configuration must give identical core numbers.
+
+Section 5's optimizations change the data layout, the aggregation strategy,
+the bucketing structure, and the arithmetic of the count updates --- none of
+which may change the algorithm's *output*.  These tests sweep the
+configuration lattice and assert output equality, plus the cost-profile
+*differences* the paper attributes to each choice.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import NucleusConfig
+from repro.core.decomp import arb_nucleus_decomp
+from repro.core.verify import brute_force_nucleus
+from repro.graph.generators import erdos_renyi, planted_partition
+from repro.parallel.runtime import CostTracker
+
+TABLE_LAYOUTS = [
+    dict(levels=1, table_style="hash", contiguous=False,
+         inverse_map="binary_search"),
+    dict(levels=2, table_style="array", contiguous=False,
+         inverse_map="binary_search"),
+    dict(levels=2, table_style="array", contiguous=True,
+         inverse_map="binary_search"),
+    dict(levels=2, table_style="array", contiguous=True,
+         inverse_map="stored_pointers"),
+    dict(levels=2, table_style="hash", contiguous=True,
+         inverse_map="stored_pointers"),
+    dict(levels=3, table_style="hash", contiguous=True,
+         inverse_map="stored_pointers"),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(60, 5, 0.5, 0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def expected34(graph):
+    return brute_force_nucleus(graph, 3, 4)
+
+
+@pytest.mark.parametrize("layout", TABLE_LAYOUTS)
+def test_table_layouts_agree(layout, graph, expected34):
+    result = arb_nucleus_decomp(graph, 3, 4, NucleusConfig(**layout))
+    assert result.as_dict() == expected34
+
+
+@pytest.mark.parametrize("aggregation", ["array", "list_buffer", "hash"])
+@pytest.mark.parametrize("relabel", [False, True])
+def test_aggregation_and_relabel_agree(aggregation, relabel, graph,
+                                       expected34):
+    cfg = NucleusConfig(aggregation=aggregation, relabel=relabel)
+    assert arb_nucleus_decomp(graph, 3, 4, cfg).as_dict() == expected34
+
+
+@pytest.mark.parametrize("bucketing", ["julienne", "fibonacci", "dense"])
+def test_bucketing_backends_agree(bucketing, graph, expected34):
+    cfg = NucleusConfig(bucketing=bucketing)
+    assert arb_nucleus_decomp(graph, 3, 4, cfg).as_dict() == expected34
+
+
+@pytest.mark.parametrize("arithmetic", ["fractional", "representative"])
+def test_update_arithmetic_agree(arithmetic, graph, expected34):
+    cfg = NucleusConfig(update_arithmetic=arithmetic)
+    assert arb_nucleus_decomp(graph, 3, 4, cfg).as_dict() == expected34
+
+
+def test_contraction_agrees(graph):
+    expected = brute_force_nucleus(graph, 2, 3)
+    on = NucleusConfig.optimal(2, 3)
+    off = NucleusConfig(aggregation="hash", contraction=False, relabel=False)
+    assert arb_nucleus_decomp(graph, 2, 3, on).as_dict() == expected
+    assert arb_nucleus_decomp(graph, 2, 3, off).as_dict() == expected
+
+
+def test_rho_identical_across_configs(graph):
+    """The number of peeling rounds is a property of the graph, not the
+    data-structure configuration."""
+    rhos = set()
+    for layout in TABLE_LAYOUTS:
+        rhos.add(arb_nucleus_decomp(graph, 3, 4,
+                                    NucleusConfig(**layout)).rho)
+    assert len(rhos) == 1
+
+
+class TestCostProfiles:
+    """Each option should exhibit the cost signature the paper describes."""
+
+    def test_layered_tables_save_memory(self, graph):
+        one = arb_nucleus_decomp(graph, 3, 4,
+                                 NucleusConfig(**TABLE_LAYOUTS[0]))
+        two = arb_nucleus_decomp(graph, 3, 4,
+                                 NucleusConfig(**TABLE_LAYOUTS[3]))
+        assert two.table_memory_units < one.table_memory_units
+
+    def test_simple_array_has_most_contention(self, graph):
+        contention = {}
+        for agg in ("array", "list_buffer", "hash"):
+            tracker = CostTracker()
+            arb_nucleus_decomp(graph, 2, 3,
+                               NucleusConfig(aggregation=agg),
+                               tracker=tracker)
+            contention[agg] = tracker.total.contention
+        assert contention["array"] > contention["list_buffer"]
+        assert contention["hash"] == 0
+
+    def test_relabel_skips_sorting_work(self, graph):
+        works = {}
+        for relabel in (False, True):
+            tracker = CostTracker()
+            arb_nucleus_decomp(graph, 3, 4,
+                               NucleusConfig(relabel=relabel),
+                               tracker=tracker)
+            works[relabel] = tracker.phases["count_s"].work
+        assert works[True] < works[False]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6),
+       rs=st.sampled_from([(1, 2), (2, 3), (2, 4), (3, 4)]),
+       aggregation=st.sampled_from(["array", "list_buffer", "hash"]),
+       bucketing=st.sampled_from(["julienne", "fibonacci", "dense"]),
+       arithmetic=st.sampled_from(["fractional", "representative"]))
+def test_property_all_configs_match_bruteforce(seed, rs, aggregation,
+                                               bucketing, arithmetic):
+    graph = erdos_renyi(18, 60, seed=seed)
+    r, s = rs
+    cfg = NucleusConfig(aggregation=aggregation, bucketing=bucketing,
+                        update_arithmetic=arithmetic)
+    result = arb_nucleus_decomp(graph, r, s, cfg)
+    assert result.as_dict() == brute_force_nucleus(graph, r, s)

@@ -1,0 +1,99 @@
+"""Extended decomposition battery: diverse families, deep (r,s), edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomp import arb_nucleus_decomp
+from repro.core.verify import brute_force_nucleus
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (barabasi_albert, complete_graph,
+                                    cycle_graph, embed_cliques, erdos_renyi,
+                                    planted_partition, rmat_graph,
+                                    star_graph)
+
+FAMILIES = [
+    ("erdos_renyi", lambda: erdos_renyi(35, 140, seed=5)),
+    ("rmat", lambda: rmat_graph(5, 6, seed=6)),
+    ("barabasi_albert", lambda: barabasi_albert(35, 4, seed=7)),
+    ("planted", lambda: planted_partition(40, 4, 0.55, 0.02, seed=8)),
+    ("clique_in_cycle", lambda: embed_cliques(cycle_graph(30), 1, 7, seed=9)),
+]
+
+
+@pytest.mark.parametrize("name,factory", FAMILIES)
+@pytest.mark.parametrize("r,s", [(2, 3), (3, 4)])
+def test_families_match_bruteforce(name, factory, r, s):
+    graph = factory()
+    result = arb_nucleus_decomp(graph, r, s)
+    assert result.as_dict() == brute_force_nucleus(graph, r, s)
+
+
+class TestDeepRS:
+    """Large r and s on tiny graphs (the regime Figure 13 sweeps)."""
+
+    @pytest.mark.parametrize("r,s", [(4, 5), (4, 6), (5, 6), (5, 7), (6, 7)])
+    def test_small_dense_graph(self, r, s):
+        graph = embed_cliques(erdos_renyi(25, 60, seed=1), 2, 9, seed=2)
+        result = arb_nucleus_decomp(graph, r, s)
+        assert result.as_dict() == brute_force_nucleus(graph, r, s)
+
+    def test_k10_deep(self):
+        from math import comb
+        graph = complete_graph(10)
+        result = arb_nucleus_decomp(graph, 5, 7)
+        assert result.max_core == comb(10 - 5, 7 - 5)
+        assert result.rho == 1
+
+
+class TestDegenerateInputs:
+    def test_isolated_vertices(self):
+        graph = CSRGraph.from_edges(10, [(0, 1), (1, 2), (0, 2)])
+        result = arb_nucleus_decomp(graph, 2, 3)
+        assert result.n_r_cliques == 3
+        assert result.max_core == 1
+
+    def test_single_edge(self):
+        graph = CSRGraph.from_edges(2, [(0, 1)])
+        result = arb_nucleus_decomp(graph, 1, 2)
+        assert result.as_dict() == {(0,): 1, (1,): 1}
+
+    def test_two_components_different_density(self):
+        left = complete_graph(6).edges()
+        right = cycle_graph(6).edges() + 6
+        graph = CSRGraph.from_edges(12, np.concatenate([left, right]))
+        result = arb_nucleus_decomp(graph, 2, 3)
+        cores = result.as_dict()
+        assert all(cores[tuple(e)] == 4 for e in left)
+        assert all(cores[tuple(sorted(e))] == 0 for e in right)
+
+    def test_star_has_no_triangles(self):
+        result = arb_nucleus_decomp(star_graph(12), 2, 3)
+        assert result.max_core == 0
+        assert result.n_s_cliques == 0
+
+    def test_r1_s_large(self):
+        graph = complete_graph(8)
+        result = arb_nucleus_decomp(graph, 1, 6)
+        from math import comb
+        assert result.max_core == comb(7, 5)
+
+
+class TestScalingBehavior:
+    def test_work_roughly_linear_in_m_for_23(self):
+        """On bounded-degeneracy graphs, (2,3) work is O(m * alpha)."""
+        works = []
+        for n in (200, 400, 800):
+            graph = erdos_renyi(n, 3 * n, seed=11)
+            from repro.parallel.runtime import CostTracker
+            tracker = CostTracker()
+            arb_nucleus_decomp(graph, 2, 3, tracker=tracker)
+            works.append(tracker.work / graph.m)
+        # Per-edge work stays within a constant band as m doubles.
+        assert max(works) < 4 * min(works)
+
+    def test_rho_grows_with_core_structure(self):
+        shallow = erdos_renyi(200, 400, seed=3)
+        deep = embed_cliques(shallow, 4, 10, seed=4)
+        rho_shallow = arb_nucleus_decomp(shallow, 2, 3).rho
+        rho_deep = arb_nucleus_decomp(deep, 2, 3).rho
+        assert rho_deep > rho_shallow

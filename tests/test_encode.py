@@ -1,0 +1,64 @@
+"""Tests for clique key packing (repro.cliques.encode)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cliques.encode import CliqueEncoder, KeyWidthError, min_levels
+
+
+class TestEncoder:
+    def test_round_trip(self):
+        enc = CliqueEncoder(100, 3)
+        assert enc.decode(enc.encode((3, 17, 99))) == (3, 17, 99)
+
+    def test_lexicographic_order_preserved(self):
+        enc = CliqueEncoder(64, 2)
+        assert enc.encode((1, 2)) < enc.encode((1, 3)) < enc.encode((2, 0))
+
+    def test_single_vertex(self):
+        enc = CliqueEncoder(1000, 1)
+        assert enc.decode(enc.encode((512,))) == (512,)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            CliqueEncoder(10, 0)
+
+    def test_overflow_rejected(self):
+        # 7 vertices x 10 bits = 70 bits > 63.
+        with pytest.raises(KeyWidthError):
+            CliqueEncoder(1024, 7)
+
+    def test_top_bit_free(self):
+        enc = CliqueEncoder(2**20, 3)
+        key = enc.encode((2**20 - 1,) * 3)
+        assert key < 2**63
+
+    @given(st.integers(2, 5000), st.data())
+    def test_property_round_trip(self, n, data):
+        width = data.draw(st.integers(1, 4))
+        bits = max(1, (n - 1).bit_length())
+        if width * bits > 63:
+            return
+        enc = CliqueEncoder(n, width)
+        vertices = tuple(sorted(data.draw(
+            st.lists(st.integers(0, n - 1), min_size=width, max_size=width))))
+        assert enc.decode(enc.encode(vertices)) == vertices
+
+
+class TestMinLevels:
+    def test_small_graph_one_level(self):
+        assert min_levels(100, 3) == 1
+
+    def test_large_r_needs_more_levels(self):
+        # n=2^20 (20 bits): one-level holds at most 3 vertices.
+        assert min_levels(2**20, 3) == 1
+        assert min_levels(2**20, 4) == 2
+        assert min_levels(2**20, 6) == 4
+
+    def test_always_feasible_with_r_levels(self):
+        for n in (10, 1000, 2**30):
+            for r in range(1, 8):
+                levels = min_levels(n, r)
+                bits = max(1, (n - 1).bit_length())
+                assert (r - levels + 1) * bits <= 63

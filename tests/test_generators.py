@@ -1,0 +1,120 @@
+"""Tests for the synthetic graph generators (repro.graph.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.cliques.counting import total_clique_count
+from repro.graph.generators import (barabasi_albert, complete_graph,
+                                    cycle_graph, embed_cliques, erdos_renyi,
+                                    figure1_graph, planted_partition,
+                                    rmat_graph, star_graph)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat_graph(8, 8, seed=1)
+        assert g.n == 256
+        assert 0 < g.m <= 8 * 256  # duplicates removed
+
+    def test_deterministic(self):
+        a = rmat_graph(7, 4, seed=9)
+        b = rmat_graph(7, 4, seed=9)
+        assert np.array_equal(a.edges(), b.edges())
+
+    def test_seed_changes_graph(self):
+        a = rmat_graph(7, 4, seed=1)
+        b = rmat_graph(7, 4, seed=2)
+        assert not np.array_equal(a.edges(), b.edges())
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, 2, a=0.9, b=0.9, c=0.1, d=0.1)
+
+    def test_skew(self):
+        # The paper's parameters (a=0.5) concentrate edges on low ids.
+        g = rmat_graph(10, 8, seed=3)
+        degs = g.degrees
+        assert degs[:256].sum() > degs[768:].sum()
+
+    def test_density_grows_with_edge_factor(self):
+        sparse = rmat_graph(9, 4, seed=5)
+        dense = rmat_graph(9, 16, seed=5)
+        assert dense.m > sparse.m
+
+
+class TestClassicModels:
+    def test_erdos_renyi_edge_count(self):
+        g = erdos_renyi(200, 400, seed=1)
+        assert g.n == 200
+        assert g.m <= 400
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert(100, 3, seed=1)
+        assert g.n == 100
+        # Later vertices attach exactly 3 edges (minus collisions with dups).
+        assert g.m >= 3 * 90
+
+    def test_barabasi_albert_validates(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 5)
+
+    def test_planted_partition_clusters(self):
+        g = planted_partition(120, 6, p_in=0.6, p_out=0.001, seed=2)
+        assert g.n == 120
+        # Dense blocks produce triangles; a pure sparse G(n,p) of the same
+        # total density would have almost none.
+        assert total_clique_count(g, 3) > 50
+
+    def test_planted_partition_deterministic(self):
+        a = planted_partition(50, 4, 0.5, 0.01, seed=8)
+        b = planted_partition(50, 4, 0.5, 0.01, seed=8)
+        assert np.array_equal(a.edges(), b.edges())
+
+
+class TestSmallGraphs:
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+        assert all(g.degree(v) == 4 for v in range(5))
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.m == 8
+        assert all(g.degree(v) == 2 for v in range(8))
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.m == 6
+        assert g.degree(0) == 6
+
+
+class TestFigure1:
+    """The paper specifies this graph's clique structure exactly."""
+
+    def test_shape(self):
+        g = figure1_graph()
+        assert g.n == 7
+        assert g.m == 15
+
+    def test_triangle_count(self):
+        assert total_clique_count(figure1_graph(), 3) == 14
+
+    def test_four_clique_count(self):
+        assert total_clique_count(figure1_graph(), 4) == 6
+
+    def test_five_clique_count(self):
+        assert total_clique_count(figure1_graph(), 5) == 1
+
+
+class TestEmbedCliques:
+    def test_adds_clique(self):
+        g = cycle_graph(20)
+        h = embed_cliques(g, 1, 6, seed=4)
+        assert h.m > g.m
+        assert total_clique_count(h, 6) >= 1
+
+    def test_preserves_existing_edges(self):
+        g = cycle_graph(20)
+        h = embed_cliques(g, 2, 4, seed=4)
+        for u, v in g.edges():
+            assert h.has_edge(int(u), int(v))

@@ -1,0 +1,126 @@
+"""Tests for union-find and the connected-nucleus hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hierarchy import build_hierarchy
+from repro.core.decomp import arb_nucleus_decomp
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (complete_graph, figure1_graph,
+                                    planted_partition)
+from repro.parallel.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.same(0, 1)
+
+    def test_union_merges(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert uf.n_components == 4
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        assert uf.same(0, 2)
+        assert not uf.same(2, 4)
+
+    def test_components(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(sorted(g) for g in uf.components().values())
+        assert groups == [[0, 1], [2, 3], [4]]
+
+    def test_large_random_against_networkx(self):
+        import networkx as nx
+        rng = np.random.default_rng(3)
+        pairs = [(int(a), int(b)) for a, b in rng.integers(0, 200, (300, 2))]
+        uf = UnionFind(200)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(200))
+        for a, b in pairs:
+            uf.union(a, b)
+            nx_graph.add_edge(a, b)
+        assert uf.n_components == nx.number_connected_components(nx_graph)
+
+
+class TestHierarchyFigure1:
+    """The paper's Figure 1 labels each k-(3,4) nucleus explicitly."""
+
+    @pytest.fixture(scope="class")
+    def hierarchy(self):
+        graph = figure1_graph()
+        return build_hierarchy(graph, arb_nucleus_decomp(graph, 3, 4))
+
+    def test_level_counts(self, hierarchy):
+        # Level 0: one nucleus per s-clique-connected component of all 14
+        # triangles; cdg shares no 4-clique with anything -> isolated.
+        level0 = hierarchy.at_level(0)
+        sizes = sorted(n.size for n in level0)
+        assert sizes == [1, 13]
+
+    def test_level_1_is_the_13_triangle_component(self, hierarchy):
+        level1 = hierarchy.at_level(1)
+        assert len(level1) == 1
+        assert level1[0].size == 13  # everything but cdg
+
+    def test_level_2_nucleus(self, hierarchy):
+        level2 = hierarchy.at_level(2)
+        assert len(level2) == 1
+        assert level2[0].size == 10  # the triangles of {a..e}
+        assert level2[0].vertices == {0, 1, 2, 3, 4}
+
+    def test_parent_links_nest(self, hierarchy):
+        level2 = hierarchy.at_level(2)[0]
+        parent = next(n for n in hierarchy.nuclei
+                      if n.node_id == level2.parent_id)
+        assert parent.level == 1
+        assert set(level2.members) <= set(parent.members)
+
+    def test_roots_and_leaves(self, hierarchy):
+        assert all(n.level == 0 for n in hierarchy.roots())
+        leaf_levels = {n.level for n in hierarchy.leaves()}
+        assert 2 in leaf_levels
+
+
+class TestHierarchyProperties:
+    def test_members_partition_each_level(self):
+        graph = planted_partition(50, 4, 0.5, 0.02, seed=2)
+        result = arb_nucleus_decomp(graph, 2, 3)
+        hierarchy = build_hierarchy(graph, result)
+        cores = result.as_dict()
+        for level in sorted({c for c in cores.values()}):
+            survivors = {cl for cl, c in cores.items() if c >= level}
+            members = [cl for n in hierarchy.at_level(level)
+                       for cl in n.members]
+            assert sorted(members) == sorted(survivors)
+
+    def test_disconnected_cliques_make_separate_nuclei(self):
+        left = complete_graph(5).edges()
+        right = complete_graph(5).edges() + 5
+        graph = CSRGraph.from_edges(10, np.concatenate([left, right]))
+        hierarchy = build_hierarchy(graph, arb_nucleus_decomp(graph, 2, 3))
+        top_level = max(n.level for n in hierarchy.nuclei)
+        tops = hierarchy.at_level(top_level)
+        assert len(tops) == 2
+        assert {frozenset(n.vertices) for n in tops} == \
+            {frozenset(range(5)), frozenset(range(5, 10))}
+
+    def test_single_clique_single_chain(self):
+        graph = complete_graph(6)
+        hierarchy = build_hierarchy(graph, arb_nucleus_decomp(graph, 2, 3))
+        assert all(len(hierarchy.at_level(n.level)) == 1
+                   for n in hierarchy.nuclei)

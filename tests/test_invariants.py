@@ -1,0 +1,130 @@
+"""Structural invariants of nucleus decompositions, property-tested.
+
+These go beyond matching the brute-force oracle: they check mathematical
+properties the decomposition must satisfy on *any* graph, which catches
+bug classes the oracle comparison can miss (the oracle shares the graph
+substrate with the implementation).
+"""
+
+from itertools import combinations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomp import arb_nucleus_decomp
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi
+
+
+def random_graph(seed: int, n: int = 24, m: int = 80) -> CSRGraph:
+    return erdos_renyi(n, m, seed=seed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_definitional_soundness_34(seed):
+    """Every triangle with core c lies in a subgraph (the union of
+    triangles with core >= c) where it touches >= c surviving 4-cliques."""
+    graph = random_graph(seed)
+    result = arb_nucleus_decomp(graph, 3, 4)
+    cores = result.as_dict()
+    if not cores:
+        return
+    for level in set(cores.values()):
+        survivors = {t for t, c in cores.items() if c >= level}
+        # Count, for each surviving triangle, 4-cliques whose four
+        # triangles all survive.
+        for tri in survivors:
+            count = 0
+            rest = set(range(graph.n)) - set(tri)
+            for w in rest:
+                if all(graph.has_edge(v, w) for v in tri):
+                    quad = tuple(sorted(tri + (w,)))
+                    if all(tuple(sorted(t)) in survivors
+                           for t in combinations(quad, 3)):
+                        count += 1
+            assert count >= level, (tri, level, count)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_adding_edges_never_decreases_cores(seed):
+    """Core numbers are monotone under edge addition."""
+    rng = np.random.default_rng(seed)
+    graph = random_graph(seed)
+    before = arb_nucleus_decomp(graph, 2, 3).as_dict()
+    # Add a few random edges.
+    extra = [(int(rng.integers(graph.n)), int(rng.integers(graph.n)))
+             for _ in range(5)]
+    bigger = CSRGraph.from_edges(
+        graph.n, np.concatenate([graph.edges(),
+                                 np.asarray(extra, dtype=np.int64)]))
+    after = arb_nucleus_decomp(bigger, 2, 3).as_dict()
+    for edge, core in before.items():
+        assert after[edge] >= core
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_core_bounded_by_initial_count(seed):
+    """No r-clique's core number exceeds its initial s-clique count."""
+    graph = random_graph(seed)
+    result = arb_nucleus_decomp(graph, 2, 3)
+    cores = result.as_dict()
+    # Initial counts: triangles per edge.
+    from repro.cliques.counting import edge_support
+    support = edge_support(graph)
+    for edge, core in cores.items():
+        assert core <= support[edge]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_max_core_hierarchy_across_s(seed):
+    """For fixed r, raising s cannot raise the max core above the smaller
+    s's bound scaled by clique inclusion: each (r, s+1) nucleus is at
+    least as exclusive as an (r, s) nucleus of equal depth."""
+    graph = random_graph(seed, n=20, m=70)
+    max_cores = {}
+    for s in (3, 4):
+        max_cores[s] = arb_nucleus_decomp(graph, 2, s).max_core
+    # Every 4-clique contains (s-r choose ...) triangles: a c-(2,4) core
+    # implies a c-(2,3)-like density, so max core cannot explode upward.
+    assert max_cores[4] <= max(1, max_cores[3]) * max(1, max_cores[3])
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6),
+       rs=st.sampled_from([(1, 2), (2, 3), (3, 4)]))
+def test_vertex_disjoint_union_independent(seed, rs):
+    """Decomposing a disjoint union equals decomposing the parts."""
+    r, s = rs
+    a = random_graph(seed, n=14, m=40)
+    b = random_graph(seed + 1, n=14, m=40)
+    union_edges = np.concatenate([a.edges(), b.edges() + 14])
+    union = CSRGraph.from_edges(28, union_edges)
+    cores_a = arb_nucleus_decomp(a, r, s).as_dict()
+    cores_b = arb_nucleus_decomp(b, r, s).as_dict()
+    cores_u = arb_nucleus_decomp(union, r, s).as_dict()
+    for clique, core in cores_a.items():
+        assert cores_u[clique] == core
+    for clique, core in cores_b.items():
+        shifted = tuple(v + 14 for v in clique)
+        assert cores_u[shifted] == core
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_relabeling_invariance(seed):
+    """Core numbers are a graph invariant: permuting vertex ids permutes
+    the answer identically."""
+    graph = random_graph(seed)
+    rng = np.random.default_rng(seed + 7)
+    perm = rng.permutation(graph.n)
+    permuted = graph.relabeled(perm)
+    original = arb_nucleus_decomp(graph, 2, 3).as_dict()
+    renamed = arb_nucleus_decomp(permuted, 2, 3).as_dict()
+    for (u, v), core in original.items():
+        key = tuple(sorted((int(perm[u]), int(perm[v]))))
+        assert renamed[key] == core

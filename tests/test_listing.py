@@ -1,0 +1,144 @@
+"""Tests for REC-LIST-CLIQUES (Algorithm 1)."""
+
+from itertools import combinations
+from math import comb
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques.listing import (collect_cliques, count_cliques,
+                                   list_cliques, rec_list_cliques)
+from repro.cliques.orient import orient
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi, figure1_graph
+from repro.parallel.runtime import CostTracker
+
+
+def brute_count(graph: CSRGraph, c: int) -> int:
+    total = 0
+    for combo in combinations(range(graph.n), c):
+        if all(graph.has_edge(u, v) for u, v in combinations(combo, 2)):
+            total += 1
+    return total
+
+
+class TestCompleteGraphs:
+    @pytest.mark.parametrize("n,c", [(5, 3), (6, 3), (6, 4), (7, 5), (7, 7)])
+    def test_choose_counts(self, n, c):
+        dg, _ = orient(complete_graph(n), "degeneracy")
+        assert count_cliques(dg, c) == comb(n, c)
+
+    def test_single_vertices(self):
+        dg, _ = orient(complete_graph(4), "degeneracy")
+        assert count_cliques(dg, 1) == 4
+
+    def test_edges(self):
+        dg, _ = orient(complete_graph(5), "degeneracy")
+        assert count_cliques(dg, 2) == 10
+
+
+class TestFigure1:
+    @pytest.mark.parametrize("c,expected", [(3, 14), (4, 6), (5, 1), (6, 0)])
+    def test_paper_counts(self, c, expected):
+        dg, _ = orient(figure1_graph(), "degeneracy")
+        assert count_cliques(dg, c) == expected
+
+
+class TestCallback:
+    def test_cliques_are_real_cliques(self, community60):
+        dg, _ = orient(community60, "goodrich_pszona")
+        seen = []
+        list_cliques(dg, 3, seen.append)
+        for clique in seen:
+            for u, v in combinations(clique, 2):
+                assert community60.has_edge(u, v)
+
+    def test_each_clique_once(self, community60):
+        dg, _ = orient(community60, "goodrich_pszona")
+        seen = set()
+        def record(clique):
+            key = tuple(sorted(clique))
+            assert key not in seen
+            seen.add(key)
+        list_cliques(dg, 3, record)
+
+    def test_collect_shape(self, community60):
+        dg, _ = orient(community60, "degeneracy")
+        rows = collect_cliques(dg, 4)
+        assert rows.ndim == 2 and rows.shape[1] == 4
+
+    def test_collect_empty(self, ring12):
+        dg, _ = orient(ring12, "degeneracy")
+        rows = collect_cliques(dg, 3)
+        assert rows.shape == (0, 3)
+
+
+class TestRecListFromBase:
+    """rec_list_cliques completing cliques from a fixed base (UPDATE's use)."""
+
+    def test_completion_from_edge(self, fig1):
+        # Complete triangles from edge (a, b): candidates are N(a) /\ N(b).
+        dg, _ = orient(fig1, "degeneracy")
+        candidates = np.intersect1d(fig1.neighbors(0), fig1.neighbors(1))
+        found = []
+        rec_list_cliques(dg, candidates, 1, (0, 1), found.append)
+        assert sorted(found) == [(0, 1, 2), (0, 1, 3), (0, 1, 4), (0, 1, 5)]
+
+    def test_two_level_completion(self, fig1):
+        # Complete 4-cliques from edge (a, b): two more vertices needed.
+        dg, _ = orient(fig1, "degeneracy")
+        candidates = np.intersect1d(fig1.neighbors(0), fig1.neighbors(1))
+        found = []
+        rec_list_cliques(dg, candidates, 2, (0, 1), found.append)
+        assert len(found) == 4  # abcd, abce, abde, abef
+        assert all(len(set(c)) == 4 for c in found)
+
+    def test_zero_levels_applies_once(self):
+        dg, _ = orient(complete_graph(3), "degeneracy")
+        found = []
+        rec_list_cliques(dg, np.array([], dtype=np.int64), 0, (0, 1), found.append)
+        assert found == [(0, 1)]
+
+
+class TestCostAccounting:
+    def test_cliques_counter(self, community60):
+        tracker = CostTracker()
+        dg, _ = orient(community60, "degeneracy")
+        total = count_cliques(dg, 3, tracker)
+        assert tracker.total.cliques_enumerated == total
+
+    def test_work_scales_with_graph(self):
+        small, large = erdos_renyi(50, 100, seed=1), erdos_renyi(400, 3000, seed=1)
+        costs = []
+        for g in (small, large):
+            t = CostTracker()
+            dg, _ = orient(g, "degeneracy")
+            count_cliques(dg, 3, t)
+            costs.append(t.work)
+        assert costs[1] > costs[0]
+
+    def test_invalid_c(self, community60):
+        dg, _ = orient(community60, "degeneracy")
+        with pytest.raises(ValueError):
+            list_cliques(dg, 0, lambda c: None)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("c", [3, 4, 5])
+    def test_random_graph_counts(self, c, community60):
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        expected = sum(1 for clique in nx.enumerate_all_cliques(nx_graph)
+                       if len(clique) == c)
+        dg, _ = orient(community60, "goodrich_pszona")
+        assert count_cliques(dg, c) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**6), st.integers(3, 5))
+def test_property_counts_match_bruteforce(seed, c):
+    graph = erdos_renyi(14, 40, seed=seed)
+    dg, _ = orient(graph, "degeneracy")
+    assert count_cliques(dg, c) == brute_count(graph, c)

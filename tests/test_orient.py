@@ -1,0 +1,114 @@
+"""Tests for the O(alpha)-orientation algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import DirectedGraph
+from repro.graph.generators import (complete_graph, cycle_graph, erdos_renyi,
+                                    planted_partition, star_graph)
+from repro.cliques.orient import (arboricity_bounds, barenboim_elkin_order,
+                                  degeneracy, degeneracy_order, degree_order,
+                                  goodrich_pszona_order, orient,
+                                  orientation_rank)
+from repro.parallel.runtime import CostTracker
+
+ALL_METHODS = ["degeneracy", "goodrich_pszona", "barenboim_elkin", "degree"]
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+class TestPermutation:
+    def test_rank_is_permutation(self, method, community60):
+        rank = orientation_rank(community60, method)
+        assert sorted(rank) == list(range(community60.n))
+
+    def test_every_edge_oriented_once(self, method, community60):
+        dg, rank = orient(community60, method)
+        assert dg.m == community60.m
+
+
+class TestDegeneracy:
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(7)) == 6
+
+    def test_cycle(self):
+        assert degeneracy(cycle_graph(10)) == 2
+
+    def test_star_is_one(self):
+        assert degeneracy(star_graph(20)) == 1
+
+    def test_order_peels_low_degree_first(self):
+        g = star_graph(5)
+        rank = degeneracy_order(g)
+        # The hub peels only once its degree drops to 1: at earliest it
+        # ties with the final leaf, so it ranks in the last two positions.
+        assert rank[0] >= g.n - 2
+
+    def test_out_degree_bounded_by_degeneracy(self, community60):
+        rank = degeneracy_order(community60)
+        dg = DirectedGraph.orient(community60, rank)
+        # Smallest-last order gives max out-degree exactly the degeneracy.
+        d = dg.max_out_degree
+        for v in range(community60.n):
+            assert dg.out_degree(v) <= d
+
+
+class TestParallelOrders:
+    @pytest.mark.parametrize("order_fn", [goodrich_pszona_order,
+                                          barenboim_elkin_order])
+    def test_out_degree_near_degeneracy(self, order_fn, community60):
+        d = degeneracy(community60)
+        rank = order_fn(community60)
+        dg = DirectedGraph.orient(community60, rank)
+        # (2 + eps)-approximations of the optimal orientation.
+        assert dg.max_out_degree <= max(4, 4 * d)
+
+    def test_rounds_logarithmic(self):
+        g = erdos_renyi(500, 2000, seed=5)
+        tracker = CostTracker()
+        goodrich_pszona_order(g, tracker=tracker)
+        assert tracker.rounds <= 4 * int(np.ceil(np.log2(g.n))) + 4
+
+    def test_barenboim_elkin_rounds(self):
+        g = planted_partition(300, 10, 0.3, 0.01, seed=2)
+        tracker = CostTracker()
+        barenboim_elkin_order(g, tracker=tracker)
+        assert tracker.rounds <= 4 * int(np.ceil(np.log2(g.n))) + 4
+
+
+class TestDegreeOrder:
+    def test_sorted_by_degree(self, star9):
+        rank = degree_order(star9)
+        assert rank[0] == star9.n - 1  # the hub has max degree
+
+
+class TestIdentityOrder:
+    def test_is_identity(self, community60):
+        from repro.cliques.orient import identity_order
+        assert list(identity_order(community60)) == list(range(community60.n))
+
+    def test_looser_than_degeneracy_on_skewed_graph(self):
+        """Identity order gives hubs (low rMAT ids) huge out-degrees ---
+        the inefficiency of counting without an O(alpha) orientation."""
+        from repro.cliques.orient import identity_order
+        from repro.graph.generators import rmat_graph
+        g = rmat_graph(9, 8, seed=1)
+        loose = DirectedGraph.orient(g, identity_order(g)).max_out_degree
+        tight = DirectedGraph.orient(g, degeneracy_order(g)).max_out_degree
+        assert loose > 2 * tight
+
+
+class TestArboricity:
+    def test_bounds_order(self, community60):
+        lower, upper = arboricity_bounds(community60)
+        assert lower <= upper
+
+    def test_complete_graph_bounds(self):
+        lower, upper = arboricity_bounds(complete_graph(10))
+        # alpha(K10) = 5; degeneracy = 9.
+        assert lower == pytest.approx(45 / 9)
+        assert upper == 9
+
+
+def test_unknown_method_rejected(community60):
+    with pytest.raises(ValueError):
+        orientation_rank(community60, "bogus")

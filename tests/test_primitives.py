@@ -1,0 +1,101 @@
+"""Tests for the cost-accounted parallel primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.primitives import (histogram, intersect_many,
+                                       intersect_sorted, pack_indices,
+                                       parallel_filter, parallel_max,
+                                       parallel_min, parallel_reduce,
+                                       prefix_sum)
+from repro.parallel.runtime import CostTracker
+
+
+class TestPrefixSum:
+    def test_exclusive(self):
+        out, total = prefix_sum([1, 2, 3, 4])
+        assert list(out) == [0, 1, 3, 6]
+        assert total == 10
+
+    def test_inclusive(self):
+        out, total = prefix_sum([1, 2, 3], exclusive=False)
+        assert list(out) == [1, 3, 6]
+        assert total == 6
+
+    def test_empty(self):
+        out, total = prefix_sum([])
+        assert total == 0
+        assert out.size == 0
+
+    def test_charges_linear_work(self):
+        t = CostTracker()
+        prefix_sum(np.ones(1000, dtype=np.int64), tracker=t)
+        assert t.work == 1000
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=50))
+    def test_matches_cumsum(self, values):
+        out, total = prefix_sum(values, exclusive=False)
+        assert list(out) == list(np.cumsum(np.asarray(values, dtype=np.int64)))
+        assert total == sum(values)
+
+
+class TestFilterPack:
+    def test_filter_preserves_order(self):
+        out = parallel_filter([5, 3, 8, 1], [True, False, True, True])
+        assert list(out) == [5, 8, 1]
+
+    def test_pack_indices(self):
+        out = pack_indices([False, True, False, True])
+        assert list(out) == [1, 3]
+
+
+class TestReductions:
+    def test_reduce_sum(self):
+        assert parallel_reduce([1, 2, 3]) == 6
+
+    def test_reduce_empty(self):
+        assert parallel_reduce([]) == 0
+
+    def test_max_min(self):
+        assert parallel_max([4, 9, 2]) == 9
+        assert parallel_min([4, 9, 2]) == 2
+        assert parallel_max([]) is None
+        assert parallel_min([]) is None
+
+    def test_histogram(self):
+        out = histogram([0, 1, 1, 3], 5)
+        assert list(out) == [1, 2, 0, 1, 0]
+
+
+class TestIntersection:
+    def test_basic(self):
+        out = intersect_sorted(np.array([1, 3, 5, 7]), np.array([3, 4, 5]))
+        assert list(out) == [3, 5]
+
+    def test_empty_operand(self):
+        out = intersect_sorted(np.array([], dtype=np.int64), np.array([1, 2]))
+        assert out.size == 0
+
+    def test_charges_min_size_work(self):
+        t = CostTracker()
+        intersect_sorted(np.arange(1000), np.arange(5), tracker=t)
+        assert t.work == pytest.approx(6)  # min size + 1
+
+    def test_many(self):
+        out = intersect_many([np.array([1, 2, 3, 4]), np.array([2, 3, 9]),
+                              np.array([0, 3])])
+        assert list(out) == [3]
+
+    def test_many_requires_input(self):
+        with pytest.raises(ValueError):
+            intersect_many([])
+
+    @given(st.lists(st.integers(0, 50), max_size=30),
+           st.lists(st.integers(0, 50), max_size=30))
+    def test_matches_set_intersection(self, a, b):
+        a = np.unique(np.asarray(a, dtype=np.int64))
+        b = np.unique(np.asarray(b, dtype=np.int64))
+        out = intersect_sorted(a, b)
+        assert set(out.tolist()) == set(a.tolist()) & set(b.tolist())

@@ -1,0 +1,37 @@
+"""Tests for the Markdown report renderer."""
+
+from repro.experiments.harness import FigureResult
+from repro.experiments.report import (figure_section, markdown_table,
+                                      render_report)
+
+
+def test_markdown_table_shape():
+    text = markdown_table([{"a": 1, "b": 2.5}], ["a", "b"])
+    lines = text.strip().splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2.5 |"
+
+
+def test_markdown_table_missing_and_none():
+    text = markdown_table([{"a": None}], ["a", "b"])
+    assert "|  |  |" in text
+
+
+def test_markdown_table_empty():
+    assert "no rows" in markdown_table([], ["a"])
+
+
+def test_figure_section():
+    fig = FigureResult("fig99", "demo", rows=[{"x": 1}])
+    section = figure_section(fig, ["x"], commentary="Hello.")
+    assert section.startswith("### fig99: demo")
+    assert "Hello." in section
+    assert "| x |" in section
+
+
+def test_render_report():
+    out = render_report("Title", "Preamble text.", ["sec1\n", "sec2\n"])
+    assert out.startswith("# Title")
+    assert "Preamble text." in out
+    assert "sec1" in out and "sec2" in out

@@ -1,0 +1,157 @@
+"""Tests for the work-span cost tracker and machine model."""
+
+import pytest
+
+from repro.parallel.runtime import CostTracker, MachineModel
+
+
+class TestWorkAccounting:
+    def test_work_accumulates(self):
+        t = CostTracker()
+        t.add_work(10)
+        t.add_work(5)
+        assert t.work == 15
+
+    def test_phases_partition_work(self):
+        t = CostTracker()
+        with t.phase("a"):
+            t.add_work(3)
+        with t.phase("b"):
+            t.add_work(4)
+        assert t.phases["a"].work == 3
+        assert t.phases["b"].work == 4
+        assert t.work == 7
+
+    def test_nested_phases_charge_innermost(self):
+        t = CostTracker()
+        with t.phase("outer"):
+            t.add_work(1)
+            with t.phase("inner"):
+                t.add_work(2)
+        assert t.phases["outer"].work == 1
+        assert t.phases["inner"].work == 2
+
+
+class TestSpanAccounting:
+    def test_serial_span_sums(self):
+        t = CostTracker()
+        t.add_span(5)
+        t.add_span(7)
+        assert t.span == 12
+
+    def test_parallel_tasks_combine_by_max(self):
+        t = CostTracker()
+        with t.parallel(4) as region:
+            for cost in (3, 10, 2, 1):
+                with region.task():
+                    t.add_span(cost)
+        # max task span (10) plus the log2(4)=2 fork-join overhead
+        assert t.span == pytest.approx(12)
+
+    def test_nested_parallel_regions(self):
+        t = CostTracker()
+        with t.parallel(2) as outer:
+            with outer.task():
+                with t.parallel(2) as inner:
+                    with inner.task():
+                        t.add_span(8)
+                    with inner.task():
+                        t.add_span(3)
+            with outer.task():
+                t.add_span(1)
+        # inner region: 8 + 1 = 9; outer max(9, 1) + 1 = 10
+        assert t.span == pytest.approx(10)
+
+    def test_task_span_shortcut(self):
+        t = CostTracker()
+        with t.parallel(8) as region:
+            region.task_span(5)
+            region.task_span(9)
+        assert t.span == pytest.approx(9 + 3)
+
+    def test_span_after_region_resumes_serial(self):
+        t = CostTracker()
+        with t.parallel(2) as region:
+            with region.task():
+                t.add_span(4)
+        t.add_span(6)
+        assert t.span == pytest.approx(4 + 1 + 6)
+
+
+class TestCounters:
+    def test_misc_counters(self):
+        t = CostTracker()
+        t.add_round(3)
+        t.add_atomic(2)
+        t.add_contention(5.0)
+        t.add_cliques(7)
+        t.add_probes(4)
+        t.note_memory_units(100)
+        t.note_memory_units(50)  # not a new high-water mark
+        s = t.summary()
+        assert s["rounds"] == 3
+        assert s["atomic_ops"] == 2
+        assert s["contention"] == 5.0
+        assert s["cliques_enumerated"] == 7
+        assert s["table_probes"] == 4
+        assert s["peak_memory_units"] == 100
+
+
+class TestMachineModel:
+    def _tracker(self, work=60000, span=100, rounds=10):
+        t = CostTracker()
+        t.add_work(work)
+        t.add_span(span)
+        t.add_round(rounds)
+        return t
+
+    def test_serial_time_is_work_plus_span(self):
+        m = MachineModel()
+        t = self._tracker()
+        assert m.time(t, 1) == pytest.approx(60000 + 100)
+
+    def test_parallel_time_below_serial(self):
+        m = MachineModel()
+        t = self._tracker()
+        assert m.time(t, 30) < m.time(t, 1)
+
+    def test_speedup_monotone_in_threads(self):
+        m = MachineModel()
+        t = self._tracker(work=10**6)
+        times = [m.time(t, p) for p in (1, 2, 4, 8, 16, 30)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_hyperthreading_discount(self):
+        m = MachineModel(cores=30, ht_yield=0.35)
+        assert m.effective_parallelism(30) == 30
+        assert m.effective_parallelism(60) == pytest.approx(30 + 0.35 * 30)
+
+    def test_speedup_bounded_by_effective_parallelism(self):
+        m = MachineModel()
+        t = self._tracker(work=10**8, span=1, rounds=0)
+        assert m.speedup(t, 60) <= m.effective_parallelism(60) + 1e-9
+
+    def test_rounds_cost_barriers_only_in_parallel(self):
+        m = MachineModel()
+        few = self._tracker(rounds=1)
+        many = self._tracker(rounds=1000)
+        assert m.time(few, 1) == m.time(many, 1)
+        assert m.time(many, 30) > m.time(few, 30)
+
+    def test_contention_hurts_parallel_only(self):
+        m = MachineModel()
+        t = self._tracker()
+        quiet = m.time(t, 30)
+        t.add_contention(10000)
+        assert m.time(t, 30) > quiet
+        assert m.time(t, 1) == pytest.approx(60100)
+
+    def test_cache_misses_add_work(self):
+        from repro.machine.cache import CacheSimulator
+        m = MachineModel()
+        t = self._tracker()
+        base = m.time(t, 1)
+        t.cache = CacheSimulator(n_sets=4, ways=1)
+        for addr in range(0, 10000, 64):
+            t.access(addr)
+        assert m.time(t, 1) > base

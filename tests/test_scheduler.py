@@ -1,0 +1,106 @@
+"""Tests for the work-stealing scheduler simulator."""
+
+import pytest
+
+from repro.parallel.scheduler import (TaskGraph, parfor_graph,
+                                      simulate_work_stealing)
+
+
+class TestTaskGraph:
+    def test_work_and_span(self):
+        g = TaskGraph()
+        root = g.add(2.0)
+        a = g.spawn(root, 3.0)
+        g.spawn(root, 5.0)
+        g.spawn(a, 4.0)
+        assert g.total_work == 14.0
+        assert g.critical_path() == 2.0 + 3.0 + 4.0
+
+    def test_spawn_validates_parent(self):
+        g = TaskGraph()
+        with pytest.raises(IndexError):
+            g.spawn(0, 1.0)
+
+    def test_parfor_graph_shape(self):
+        g = parfor_graph(100, 2.0, fanout=4)
+        leaves = [t for t in g.tasks if t.work == 2.0]
+        assert len(leaves) == 100
+        assert g.total_work == 200.0
+        # Fanout tree keeps the span logarithmic in the task count.
+        assert g.critical_path() <= 2.0 * 10
+
+    def test_parfor_callable_work(self):
+        g = parfor_graph(10, lambda i: float(i), fanout=4)
+        assert g.total_work == sum(range(10))
+
+
+class TestSimulation:
+    def test_single_worker_executes_all_work(self):
+        g = parfor_graph(50, 3.0)
+        result = simulate_work_stealing(g, workers=1)
+        assert result.makespan == pytest.approx(g.total_work)
+        assert result.steals == 0
+
+    def test_parallel_speedup(self):
+        g = parfor_graph(256, 10.0)
+        t1 = simulate_work_stealing(g, 1).makespan
+        t8 = simulate_work_stealing(g, 8).makespan
+        assert t1 / t8 > 5.0
+
+    def test_brent_bound_holds(self):
+        """makespan <= 2 * (W/P + S) + steal overhead, for several shapes."""
+        for n, fanout, workers in [(100, 8, 4), (500, 4, 16), (64, 2, 8)]:
+            g = parfor_graph(n, 5.0, fanout=fanout)
+            result = simulate_work_stealing(g, workers, steal_cost=0.5)
+            bound = g.total_work / workers + g.critical_path()
+            assert result.makespan <= 3.0 * bound + 50.0
+
+    def test_deterministic_given_seed(self):
+        g = parfor_graph(64, 1.0)
+        a = simulate_work_stealing(g, 4, seed=9)
+        b = simulate_work_stealing(g, 4, seed=9)
+        assert a.makespan == b.makespan
+        assert a.steals == b.steals
+
+    def test_parent_before_children(self):
+        # A deep chain forces sequential execution regardless of workers.
+        g = TaskGraph()
+        node = g.add(1.0)
+        for _ in range(30):
+            node = g.spawn(node, 1.0)
+        result = simulate_work_stealing(g, workers=8)
+        assert result.makespan >= g.critical_path()
+
+    def test_imbalanced_work_is_stolen(self):
+        # One huge leaf + many small ones: stealing spreads the small ones.
+        g = parfor_graph(65, lambda i: 1000.0 if i == 0 else 1.0)
+        result = simulate_work_stealing(g, 4)
+        # Serial time is 1064; with stealing, the small tasks overlap the
+        # huge one, so the makespan stays near the huge task alone.
+        assert result.makespan < 1030.0
+        assert result.steals > 0
+
+    def test_utilization_bounded(self):
+        g = parfor_graph(128, 4.0)
+        result = simulate_work_stealing(g, 8)
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            simulate_work_stealing(TaskGraph(), 0)
+
+
+class TestAgainstMachineModel:
+    def test_brent_estimate_consistent_with_simulation(self):
+        """The MachineModel's W/P + S estimate and the scheduler simulation
+        agree within a small constant on a balanced parallel-for."""
+        from repro.parallel.runtime import CostTracker, MachineModel
+        n, per_task = 512, 20.0
+        g = parfor_graph(n, per_task)
+        sim = simulate_work_stealing(g, 16, steal_cost=0.2)
+        tracker = CostTracker()
+        tracker.add_work(g.total_work)
+        tracker.add_span(g.critical_path())
+        model = MachineModel(cores=16)
+        predicted = model.time(tracker, 16)
+        assert 0.3 * predicted <= sim.makespan <= 3.0 * predicted

@@ -1,0 +1,115 @@
+"""Tests for the multi-level set store (the Section 5.1 generalization)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.setstore import MultiLevelSetStore, flat_memory_units
+
+
+class TestBasics:
+    def test_insert_get(self):
+        store = MultiLevelSetStore(levels=2)
+        store.insert((3, 1, 2), 5.0)
+        assert store.get((1, 2, 3)) == 5.0  # order-insensitive
+        assert len(store) == 1
+
+    def test_contains(self):
+        store = MultiLevelSetStore()
+        store.insert((1, 2))
+        assert (2, 1) in store
+        assert (1, 3) not in store
+
+    def test_add(self):
+        store = MultiLevelSetStore()
+        store.insert((1, 2, 3), 1.0)
+        assert store.add((1, 2, 3), 2.5) == 3.5
+
+    def test_add_missing_raises(self):
+        store = MultiLevelSetStore()
+        with pytest.raises(KeyError):
+            store.add((1, 2), 1.0)
+
+    def test_overwrite_does_not_grow(self):
+        store = MultiLevelSetStore()
+        store.insert((1, 2), 1.0)
+        store.insert((1, 2), 9.0)
+        assert len(store) == 1
+        assert store.get((1, 2)) == 9.0
+
+    def test_duplicate_elements_rejected(self):
+        store = MultiLevelSetStore()
+        with pytest.raises(ValueError):
+            store.insert((1, 1, 2))
+
+    def test_variable_sizes(self):
+        store = MultiLevelSetStore(levels=3)
+        store.insert((5,), 1.0)
+        store.insert((5, 6), 2.0)
+        store.insert((5, 6, 7, 8), 3.0)
+        assert store.get((5,)) == 1.0
+        assert store.get((5, 6)) == 2.0
+        assert store.get((5, 6, 7, 8)) == 3.0
+
+    def test_items_round_trip(self):
+        store = MultiLevelSetStore(levels=3)
+        data = {(1, 2, 3): 1.0, (1, 2, 4): 2.0, (2, 3): 3.0}
+        for key, value in data.items():
+            store.insert(key, value)
+        assert dict(store.items()) == data
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            MultiLevelSetStore(levels=0)
+
+
+class TestMemoryAccounting:
+    def test_overlapping_sets_save_memory(self):
+        """Hyperedges sharing a prefix (the paper's hypergraph use case)."""
+        hyperedges = [(0, i, i + 1, i + 2) for i in range(1, 40, 3)]
+        store = MultiLevelSetStore(levels=2)
+        for edge in hyperedges:
+            store.insert(edge)
+        assert store.memory_units < flat_memory_units(hyperedges)
+
+    def test_disjoint_sets_cost_more_nested(self):
+        """Without overlap, trie pointers are pure overhead -- mirroring
+        the paper's observation that savings depend on the skew."""
+        sets = [(10 * i, 10 * i + 1) for i in range(20)]
+        store = MultiLevelSetStore(levels=2)
+        for s in sets:
+            store.insert(s)
+        assert store.memory_units > flat_memory_units(sets)
+
+    def test_matches_clique_table_convention(self):
+        """Figure 3's two-level numbers, modulo the array-vs-hash top level:
+        14 triangles, intermediate entries cost 2, suffixes cost 2."""
+        from repro.cliques.listing import collect_cliques
+        from repro.cliques.orient import orient
+        from repro.graph.generators import figure1_graph
+        dg, _ = orient(figure1_graph(), "degeneracy")
+        triangles = [tuple(sorted(map(int, row)))
+                     for row in collect_cliques(dg, 3)]
+        store = MultiLevelSetStore(levels=2)
+        for tri in triangles:
+            store.insert(tri)
+        # 3 distinct first vertices x 2 + 14 suffixes x 2 = 34.
+        assert store.memory_units == 34
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.frozensets(st.integers(0, 30), min_size=1, max_size=6),
+                max_size=40),
+       st.integers(1, 4))
+def test_model_equivalence(sets, levels):
+    """The store behaves like a dict keyed by sorted tuples."""
+    store = MultiLevelSetStore(levels=levels)
+    model = {}
+    for k, s in enumerate(sets):
+        key = tuple(sorted(s))
+        store.insert(key, float(k))
+        model[key] = float(k)
+    assert len(store) == len(model)
+    for key, value in model.items():
+        assert store.get(key) == value
+    assert dict(store.items()) == model

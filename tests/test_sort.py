@@ -1,0 +1,64 @@
+"""Tests for parallel sample sort and semisort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.runtime import CostTracker
+from repro.parallel.sort import sample_sort, semisort
+
+
+class TestSampleSort:
+    def test_sorts(self):
+        out = sample_sort([5, 2, 9, 1, 5, 0])
+        assert list(out) == [0, 1, 2, 5, 5, 9]
+
+    def test_empty_and_single(self):
+        assert sample_sort([]).size == 0
+        assert list(sample_sort([7])) == [7]
+
+    def test_charges_nlogn(self):
+        t = CostTracker()
+        sample_sort(np.arange(1024)[::-1], tracker=t)
+        assert t.work >= 1024 * 10
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-10**9, 10**9), max_size=300))
+    def test_matches_numpy(self, values):
+        out = sample_sort(values)
+        assert list(out) == sorted(values)
+
+
+class TestSemisort:
+    def test_groups_by_key(self):
+        keys, groups = semisort([3, 1, 3, 2, 1])
+        assert list(keys) == [1, 2, 3]
+        assert sorted(groups[0].tolist()) == [1, 4]  # indices of key 1
+        assert groups[1].tolist() == [3]
+        assert sorted(groups[2].tolist()) == [0, 2]
+
+    def test_with_values(self):
+        keys, groups = semisort([1, 2, 1], values=[10, 20, 30])
+        assert list(keys) == [1, 2]
+        assert sorted(groups[0].tolist()) == [10, 30]
+
+    def test_empty(self):
+        keys, groups = semisort([])
+        assert keys.size == 0
+        assert groups == []
+
+    def test_linear_work(self):
+        t = CostTracker()
+        semisort(np.arange(1000) % 7, tracker=t)
+        assert t.work == pytest.approx(1001)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 20), max_size=100))
+    def test_partition_property(self, keys):
+        unique, groups = semisort(keys)
+        # Groups partition the index space and match the keys exactly.
+        all_indices = sorted(i for g in groups for i in g.tolist())
+        assert all_indices == list(range(len(keys)))
+        for key, group in zip(unique, groups):
+            assert all(keys[i] == key for i in group.tolist())

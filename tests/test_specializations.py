@@ -1,0 +1,97 @@
+"""Tests for the k-core / k-truss / densest-subgraph convenience modules."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.densest import k_clique_densest
+from repro.core.kcore import degeneracy_core, k_core, k_core_via_nucleus
+from repro.core.ktruss import k_truss, max_truss_subgraph, trussness
+from repro.core.verify import brute_force_nucleus
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (complete_graph, cycle_graph,
+                                    erdos_renyi, planted_partition,
+                                    star_graph)
+from repro.parallel.runtime import CostTracker
+
+
+class TestKCore:
+    def test_matches_networkx(self, community60):
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        expected = nx.core_number(nx_graph)
+        cores = k_core(community60)
+        assert all(cores[v] == expected[v] for v in range(community60.n))
+
+    def test_direct_equals_nucleus_route(self, community60):
+        assert np.array_equal(k_core(community60),
+                              k_core_via_nucleus(community60))
+
+    def test_known_graphs(self):
+        assert set(k_core(complete_graph(5))) == {4}
+        assert set(k_core(cycle_graph(7))) == {2}
+        assert set(k_core(star_graph(6))) == {1}
+
+    def test_degeneracy_core(self, community60):
+        assert degeneracy_core(community60) == int(k_core(community60).max())
+
+    def test_tracker_charged(self, community60):
+        tracker = CostTracker()
+        k_core(community60, tracker)
+        assert tracker.work >= community60.n
+
+
+class TestKTruss:
+    def test_matches_oracle(self, community60):
+        result = k_truss(community60)
+        assert result.as_dict() == brute_force_nucleus(community60, 2, 3)
+
+    def test_trussness_offset(self, community60):
+        cores = k_truss(community60).as_dict()
+        classical = trussness(community60)
+        assert all(classical[e] == c + 2 for e, c in cores.items())
+
+    def test_max_truss_subgraph_supports_its_core(self):
+        g = planted_partition(80, 4, 0.6, 0.01, seed=5)
+        result = k_truss(g)
+        sub, vertices = max_truss_subgraph(g)
+        assert sub.n == len(vertices)
+        # In a c-truss every edge closes >= c triangles, so every vertex
+        # has at least c + 1 neighbors inside the subgraph.
+        assert int(sub.degrees.min()) >= result.max_core + 1
+
+    def test_max_truss_complete_graph(self):
+        sub, vertices = max_truss_subgraph(complete_graph(6))
+        assert sorted(vertices) == list(range(6))
+        assert sub.m == 15
+
+
+class TestDensest:
+    def test_planted_clique_found(self):
+        # A K8 inside a sparse background: the 3-clique densest subgraph
+        # approximation should land on (a superset containing) the clique.
+        base = erdos_renyi(100, 150, seed=3)
+        edges = [tuple(e) for e in base.edges()]
+        clique = list(range(50, 58))
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                edges.append((u, v))
+        g = CSRGraph.from_edges(100, edges)
+        result = k_clique_densest(g, 3)
+        assert set(clique) <= set(result.vertices)
+        assert result.density >= 56 / 8 * 0.5  # near the planted density
+
+    def test_density_definition(self):
+        g = complete_graph(6)
+        result = k_clique_densest(g, 3)
+        assert sorted(result.vertices) == list(range(6))
+        assert result.clique_count == 20
+        assert result.density == pytest.approx(20 / 6)
+
+    def test_k_validation(self, community60):
+        with pytest.raises(ValueError):
+            k_clique_densest(community60, 1)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, [])
+        result = k_clique_densest(g, 3)
+        assert result.density == 0.0

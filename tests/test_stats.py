@@ -1,0 +1,75 @@
+"""Tests for structural graph statistics (repro.graph.stats)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (complete_graph, cycle_graph,
+                                    rmat_graph, star_graph)
+from repro.graph.stats import (average_local_clustering, degree_statistics,
+                               global_clustering_coefficient, profile_graph)
+
+
+class TestDegreeStatistics:
+    def test_regular_graph(self):
+        stats = degree_statistics(cycle_graph(10))
+        assert stats["min"] == stats["max"] == 2
+        assert stats["mean"] == 2.0
+        assert stats["skew"] == 0.0
+
+    def test_star_is_skewed(self):
+        stats = degree_statistics(star_graph(20))
+        assert stats["max"] == 20
+        assert stats["skew"] > 1.0
+
+    def test_empty(self):
+        stats = degree_statistics(CSRGraph.from_edges(1, []))
+        assert stats["max"] == 0
+
+
+class TestClustering:
+    def test_complete_graph_transitivity_one(self):
+        assert global_clustering_coefficient(complete_graph(6)) == \
+            pytest.approx(1.0)
+
+    def test_triangle_free_zero(self):
+        assert global_clustering_coefficient(cycle_graph(8)) == 0.0
+
+    def test_matches_networkx(self, community60):
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        assert global_clustering_coefficient(community60) == \
+            pytest.approx(nx.transitivity(nx_graph))
+
+    def test_local_matches_networkx(self, community60):
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        nx_graph.add_nodes_from(range(community60.n))
+        ours = average_local_clustering(community60)
+        # networkx averages over all nodes (degree<2 count as 0); ours
+        # averages over nodes with degree >= 2 -- compare on that set.
+        eligible = [v for v in range(community60.n)
+                    if community60.degree(v) >= 2]
+        theirs = np.mean([nx.clustering(nx_graph, v) for v in eligible])
+        assert ours == pytest.approx(theirs)
+
+    def test_sampled_local_clustering_close(self):
+        g = rmat_graph(9, 6, seed=2)
+        full = average_local_clustering(g)
+        sampled = average_local_clustering(g, sample=200, seed=1)
+        assert sampled == pytest.approx(full, abs=0.15)
+
+
+class TestProfile:
+    def test_complete_graph_profile(self):
+        profile = profile_graph(complete_graph(5))
+        assert profile.n == 5
+        assert profile.m == 10
+        assert profile.degeneracy == 4
+        assert profile.triangles == 10
+        assert profile.transitivity == pytest.approx(1.0)
+        assert profile.as_dict()["degree"]["max"] == 4
+
+    def test_empty_graph_profile(self):
+        profile = profile_graph(CSRGraph.from_edges(3, []))
+        assert profile.degeneracy == 0
+        assert profile.triangles == 0

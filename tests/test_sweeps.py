@@ -1,0 +1,61 @@
+"""Tests for the generic parameter-sweep API."""
+
+import pytest
+
+from repro.core.config import NucleusConfig
+from repro.experiments.sweeps import best_per_group, config_grid, sweep
+from repro.graph.generators import figure1_graph, planted_partition
+
+
+class TestConfigGrid:
+    def test_cartesian(self):
+        combos = config_grid(aggregation=["array", "hash"],
+                             relabel=[False, True])
+        assert len(combos) == 4
+        labels = {label for label, _ in combos}
+        assert "aggregation=hash,relabel=True" in labels
+
+    def test_base_preserved(self):
+        base = NucleusConfig(bucketing="dense")
+        combos = config_grid(base, relabel=[True])
+        assert combos[0][1].bucketing == "dense"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            config_grid(warp_drive=[1, 2])
+
+
+class TestSweep:
+    def test_rows_cover_grid(self):
+        graphs = {"fig1": figure1_graph()}
+        rows = sweep(graphs, [(2, 3), (3, 4)],
+                     config_grid(aggregation=["array", "hash"]))
+        assert len(rows) == 4
+        assert {row["config"] for row in rows} == \
+            {"aggregation=array", "aggregation=hash"}
+        assert all(row["T60"] > 0 for row in rows)
+
+    def test_default_config(self):
+        rows = sweep({"fig1": figure1_graph()}, [(2, 3)])
+        assert len(rows) == 1
+        assert rows[0]["config"] == "default"
+
+    def test_results_identical_across_configs(self):
+        graph = planted_partition(40, 4, 0.5, 0.02, seed=1)
+        rows = sweep({"g": graph}, [(2, 3)],
+                     config_grid(bucketing=["julienne", "dense"]))
+        assert len({row["max_core"] for row in rows}) == 1
+        assert len({row["rho"] for row in rows}) == 1
+
+
+class TestBestPerGroup:
+    def test_picks_minimum(self):
+        rows = [
+            {"graph": "a", "r": 2, "s": 3, "config": "x", "T60": 10.0},
+            {"graph": "a", "r": 2, "s": 3, "config": "y", "T60": 5.0},
+            {"graph": "b", "r": 2, "s": 3, "config": "x", "T60": 7.0},
+        ]
+        best = best_per_group(rows)
+        assert len(best) == 2
+        chosen = {row["graph"]: row["config"] for row in best}
+        assert chosen == {"a": "y", "b": "x"}

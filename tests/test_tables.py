@@ -1,0 +1,160 @@
+"""Tests for the multi-level clique table T (repro.core.tables)."""
+
+import numpy as np
+import pytest
+
+from repro.cliques.listing import collect_cliques
+from repro.cliques.orient import orient
+from repro.core.tables import CliqueTable
+from repro.graph.generators import figure1_graph, planted_partition
+
+
+def fig1_cliques(c):
+    dg, _ = orient(figure1_graph(), "degeneracy")
+    return np.sort(collect_cliques(dg, c), axis=1)
+
+
+ALL_LAYOUTS = [
+    dict(levels=1),
+    dict(levels=2, style="array", contiguous=False),
+    dict(levels=2, style="array", contiguous=True),
+    dict(levels=2, style="array", contiguous=True,
+         inverse_map="stored_pointers"),
+    dict(levels=2, style="hash", contiguous=True,
+         inverse_map="stored_pointers"),
+    dict(levels=3, style="hash", contiguous=False),
+    dict(levels=3, style="hash", contiguous=True,
+         inverse_map="stored_pointers"),
+]
+
+
+class TestMemoryUnits:
+    """The paper's worked examples in Figures 3-4 (see DESIGN.md for the
+    one number we cannot derive from the stated convention)."""
+
+    def test_one_level_34(self):
+        t = CliqueTable(7, 3, fig1_cliques(3), levels=1)
+        assert t.memory_units == 42  # Figure 3
+
+    def test_two_level_34(self):
+        t = CliqueTable(7, 3, fig1_cliques(3), levels=2, style="array")
+        assert t.memory_units == 35  # Figure 3
+
+    def test_one_level_45(self):
+        t = CliqueTable(7, 4, fig1_cliques(4), levels=1)
+        assert t.memory_units == 24  # Figure 4
+
+    def test_three_level_45(self):
+        t = CliqueTable(7, 4, fig1_cliques(4), levels=3, style="hash")
+        assert t.memory_units == 22  # Figure 4
+
+    def test_multilevel_counts_intermediate_entries(self):
+        t = CliqueTable(7, 3, fig1_cliques(3), levels=3, style="hash")
+        # 3 first-level + 8 second-level entries (2 units each) + 14 keys.
+        assert t.memory_units == 36
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+class TestLayouts:
+    def test_decode_round_trip(self, layout):
+        cliques = fig1_cliques(3)
+        t = CliqueTable(7, 3, cliques, **layout)
+        decoded = sorted(t.decode(int(c)) for c in t.occupied_cells())
+        assert decoded == sorted(map(tuple, cliques.tolist()))
+
+    def test_cell_of_finds_every_clique(self, layout):
+        cliques = fig1_cliques(3)
+        t = CliqueTable(7, 3, cliques, **layout)
+        for row in cliques:
+            cell = t.cell_of(tuple(row))
+            assert cell >= 0
+            assert t.decode(cell) == tuple(row)
+
+    def test_cell_of_missing_returns_minus_one(self, layout):
+        t = CliqueTable(7, 3, fig1_cliques(3), **layout)
+        assert t.cell_of((4, 5, 6)) == -1  # efg is not a triangle
+
+    def test_counts(self, layout):
+        cliques = fig1_cliques(3)
+        t = CliqueTable(7, 3, cliques, **layout)
+        cell = t.add_count(tuple(cliques[0]), 2.0)
+        t.add_count_at(cell, -0.5)
+        assert t.count_at(cell) == pytest.approx(1.5)
+
+    def test_len(self, layout):
+        t = CliqueTable(7, 3, fig1_cliques(3), **layout)
+        assert len(t) == 14
+
+
+class TestIndexStability:
+    def test_cells_identical_contiguous_or_not(self):
+        """Paper 5.3: the index of each r-clique is the same regardless of
+        whether T is contiguous in memory."""
+        cliques = fig1_cliques(3)
+        a = CliqueTable(7, 3, cliques, levels=2, style="array",
+                        contiguous=False)
+        b = CliqueTable(7, 3, cliques, levels=2, style="array",
+                        contiguous=True)
+        for row in cliques:
+            assert a.cell_of(tuple(row)) == b.cell_of(tuple(row))
+
+
+class TestValidation:
+    def test_stored_pointers_require_contiguous(self):
+        with pytest.raises(ValueError):
+            CliqueTable(7, 3, fig1_cliques(3), levels=2, style="array",
+                        contiguous=False, inverse_map="stored_pointers")
+
+    def test_array_style_is_two_level_only(self):
+        with pytest.raises(ValueError):
+            CliqueTable(7, 3, fig1_cliques(3), levels=3, style="array")
+
+    def test_levels_bounds(self):
+        with pytest.raises(ValueError):
+            CliqueTable(7, 3, fig1_cliques(3), levels=4)
+        with pytest.raises(ValueError):
+            CliqueTable(7, 3, fig1_cliques(3), levels=0)
+
+    def test_bad_inverse_map(self):
+        with pytest.raises(ValueError):
+            CliqueTable(7, 3, fig1_cliques(3), levels=1, inverse_map="x")
+
+    def test_key_width_forces_levels(self):
+        from repro.cliques.encode import KeyWidthError
+        # 2^20-vertex ids: 6 vertices cannot fit one 63-bit key.
+        big_cliques = np.array([[0, 1, 2, 3, 4, 5]])
+        with pytest.raises(KeyWidthError):
+            CliqueTable(2**20, 6, big_cliques, levels=1)
+        t = CliqueTable(2**20, 6, big_cliques, levels=4, style="hash")
+        assert t.cell_of((0, 1, 2, 3, 4, 5)) >= 0
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            CliqueTable(7, 3, fig1_cliques(3), levels=2, style="wat")
+
+
+class TestEmptyAndEdgeCases:
+    def test_empty_table(self):
+        t = CliqueTable(7, 3, np.zeros((0, 3), dtype=np.int64), levels=2,
+                        style="array")
+        assert len(t) == 0
+        assert t.occupied_cells().size == 0
+
+    def test_r_equals_one(self):
+        vertices = np.arange(5).reshape(-1, 1)
+        t = CliqueTable(5, 1, vertices, levels=1)
+        assert len(t) == 5
+        for v in range(5):
+            assert t.decode(t.cell_of((v,))) == (v,)
+
+    def test_larger_graph_all_layouts_agree(self):
+        g = planted_partition(50, 4, 0.5, 0.02, seed=1)
+        dg, _ = orient(g, "degeneracy")
+        cliques = np.sort(collect_cliques(dg, 3), axis=1)
+        reference = None
+        for layout in ALL_LAYOUTS:
+            t = CliqueTable(g.n, 3, cliques, **layout)
+            decoded = sorted(t.decode(int(c)) for c in t.occupied_cells())
+            if reference is None:
+                reference = decoded
+            assert decoded == reference

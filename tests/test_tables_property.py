@@ -1,0 +1,85 @@
+"""Property-based tests for the multi-level clique table."""
+
+from itertools import combinations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tables import CliqueTable
+
+
+@st.composite
+def clique_sets(draw):
+    """A random set of r-cliques over a random vertex universe."""
+    n = draw(st.integers(6, 60))
+    r = draw(st.integers(1, 4))
+    universe = list(range(n))
+    count = draw(st.integers(0, 25))
+    cliques = set()
+    for _ in range(count):
+        members = draw(st.permutations(universe))[:r]
+        cliques.add(tuple(sorted(members)))
+    return n, r, sorted(cliques)
+
+
+def layout_strategy(r):
+    return st.builds(
+        dict,
+        levels=st.integers(1, r),
+        contiguous=st.booleans(),
+        stored=st.booleans(),
+        hash_style=st.booleans(),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=clique_sets(), layout=st.data())
+def test_round_trip_any_layout(data, layout):
+    n, r, cliques = data
+    params = layout.draw(layout_strategy(r))
+    levels = params["levels"]
+    style = "hash" if (params["hash_style"] or levels != 2) else "array"
+    contiguous = params["contiguous"] or False
+    inverse = "stored_pointers" if (params["stored"] and contiguous
+                                    and levels > 1) else "binary_search"
+    if levels == 1:
+        contiguous = False
+        inverse = "binary_search"
+    table = CliqueTable(n, r, np.asarray(cliques, dtype=np.int64).reshape(-1, r),
+                        levels=levels, style=style, contiguous=contiguous,
+                        inverse_map=inverse)
+    # Every inserted clique is found, decodes to itself, and counts work.
+    assert len(table) == len(cliques)
+    for clique in cliques:
+        cell = table.cell_of(clique)
+        assert cell >= 0
+        assert table.decode(cell) == clique
+        table.add_count_at(cell, 2.0)
+        assert table.count_at(cell) == 2.0
+    # Cells are unique per clique.
+    cells = [table.cell_of(clique) for clique in cliques]
+    assert len(set(cells)) == len(cells)
+    # Absent keys are reported absent.
+    for clique in cliques[:3]:
+        shifted = tuple(sorted({(v + 1) % n for v in clique}))
+        if len(shifted) == r and shifted not in set(cliques):
+            assert table.cell_of(shifted) == -1 or \
+                table.decode(table.cell_of(shifted)) == shifted
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=clique_sets())
+def test_memory_units_formula(data):
+    """Memory units follow the documented Figures 3-4 convention."""
+    n, r, cliques = data
+    rows = np.asarray(cliques, dtype=np.int64).reshape(-1, r)
+    one = CliqueTable(n, r, rows, levels=1)
+    assert one.memory_units == len(cliques) * r
+    if r >= 2:
+        two = CliqueTable(n, r, rows, levels=2, style="array")
+        assert two.memory_units == n + len(cliques) * (r - 1)
+        multi = CliqueTable(n, r, rows, levels=2, style="hash")
+        distinct_firsts = len({clique[0] for clique in cliques})
+        assert multi.memory_units == \
+            2 * distinct_firsts + len(cliques) * (r - 1)

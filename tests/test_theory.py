@@ -1,0 +1,98 @@
+"""Theoretical checkpoints from Section 4 carried as executable tests.
+
+* Lemma 4.1: the sum over all c-cliques of the minimum vertex degree is
+  O(m * alpha^{c-1}).
+* The c-clique count is O(m * alpha^{c-2}) (via [60]).
+* Theorem 4.2's structure: tracked work stays within a constant factor of
+  m * alpha^{s-2} + rho * log n, and span is far below work.
+* rho is bounded by the number of r-cliques.
+"""
+
+import math
+
+import pytest
+
+from repro.cliques.listing import collect_cliques
+from repro.cliques.orient import degeneracy, orient
+from repro.core.decomp import arb_nucleus_decomp
+from repro.graph.generators import (complete_graph, erdos_renyi,
+                                    planted_partition, rmat_graph)
+from repro.parallel.runtime import CostTracker
+
+GRAPHS = [
+    ("er", erdos_renyi(120, 500, seed=1)),
+    ("community", planted_partition(90, 6, 0.5, 0.01, seed=2)),
+    ("rmat", rmat_graph(7, 6, seed=3)),
+    ("clique", complete_graph(12)),
+]
+
+
+def min_degree_sum(graph, c):
+    dg, _ = orient(graph, "degeneracy")
+    degrees = graph.degrees
+    total = 0
+    for row in collect_cliques(dg, c):
+        total += min(int(degrees[v]) for v in row)
+    return total
+
+
+@pytest.mark.parametrize("name,graph", GRAPHS)
+@pytest.mark.parametrize("c", [2, 3, 4])
+def test_lemma_4_1_min_degree_bound(name, graph, c):
+    """sum over c-cliques of min degree <= C * m * alpha^{c-1}."""
+    alpha = max(1, degeneracy(graph))  # alpha <= degeneracy <= 2*alpha - 1
+    bound = graph.m * alpha ** (c - 1)
+    assert min_degree_sum(graph, c) <= 4 * bound
+
+
+@pytest.mark.parametrize("name,graph", GRAPHS)
+@pytest.mark.parametrize("c", [3, 4, 5])
+def test_clique_count_bound(name, graph, c):
+    """The number of c-cliques is O(m * alpha^{c-2})."""
+    dg, _ = orient(graph, "degeneracy")
+    count = collect_cliques(dg, c).shape[0]
+    alpha = max(1, degeneracy(graph))
+    assert count <= 2 * graph.m * alpha ** (c - 2)
+
+
+@pytest.mark.parametrize("name,graph", GRAPHS)
+@pytest.mark.parametrize("r,s", [(1, 2), (2, 3), (3, 4)])
+def test_theorem_4_2_work_bound(name, graph, r, s):
+    """Tracked work <= C * (m * alpha^{s-2} + rho * log n)."""
+    tracker = CostTracker()
+    result = arb_nucleus_decomp(graph, r, s, tracker=tracker)
+    alpha = max(1, degeneracy(graph))
+    bound = graph.m * alpha ** (s - 2) + \
+        result.rho * math.log2(max(2, graph.n))
+    # The constant absorbs the per-operation charges of the realistic
+    # cost model (probe widths, sorting charges, bucketing overheads).
+    assert tracker.work <= 64 * bound
+
+
+@pytest.mark.parametrize("name,graph", GRAPHS)
+def test_span_is_polylog_like(name, graph):
+    """Parallel span is orders of magnitude below work on real inputs."""
+    tracker = CostTracker()
+    result = arb_nucleus_decomp(graph, 2, 3, tracker=tracker)
+    polylog = math.log2(max(2, graph.n)) ** 2
+    assert tracker.span <= 40 * (result.rho + 1) * polylog
+
+
+@pytest.mark.parametrize("name,graph", GRAPHS)
+def test_rho_bounded_by_r_clique_count(name, graph):
+    result = arb_nucleus_decomp(graph, 2, 3)
+    assert result.rho <= max(1, result.n_r_cliques)
+
+
+def test_rho_complete_graph_is_one():
+    assert arb_nucleus_decomp(complete_graph(9), 2, 3).rho == 1
+
+
+def test_degeneracy_brackets_arboricity():
+    """alpha <= degeneracy <= 2 * alpha - 1 (used throughout Section 4)."""
+    for _, graph in GRAPHS:
+        if graph.n < 2 or graph.m == 0:
+            continue
+        d = degeneracy(graph)
+        alpha_lower = graph.m / (graph.n - 1)  # alpha >= m / (n-1)
+        assert d >= alpha_lower / 2  # since d >= alpha / 1 >= lower bound /1

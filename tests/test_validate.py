@@ -1,0 +1,62 @@
+"""Tests for the definitional nucleus validator (repro.core.validate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomp import arb_nucleus_decomp
+from repro.core.validate import (NucleusValidationError,
+                                 is_valid_nucleus_decomposition,
+                                 validate_nucleus_decomposition)
+from repro.graph.generators import erdos_renyi, figure1_graph
+
+
+class TestAcceptsCorrect:
+    @pytest.mark.parametrize("r,s", [(1, 2), (2, 3), (3, 4)])
+    def test_arb_output_validates(self, r, s):
+        graph = figure1_graph()
+        cores = arb_nucleus_decomp(graph, r, s).as_dict()
+        validate_nucleus_decomposition(graph, r, s, cores)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_random_graphs(self, seed):
+        graph = erdos_renyi(18, 55, seed=seed)
+        cores = arb_nucleus_decomp(graph, 2, 3).as_dict()
+        assert is_valid_nucleus_decomposition(graph, 2, 3, cores)
+
+
+class TestRejectsWrong:
+    def _correct(self):
+        graph = figure1_graph()
+        return graph, arb_nucleus_decomp(graph, 3, 4).as_dict()
+
+    def test_missing_clique_rejected(self):
+        graph, cores = self._correct()
+        del cores[(0, 1, 2)]
+        with pytest.raises(NucleusValidationError, match="coverage"):
+            validate_nucleus_decomposition(graph, 3, 4, cores)
+
+    def test_phantom_clique_rejected(self):
+        graph, cores = self._correct()
+        cores[(4, 5, 6)] = 1  # efg is not a triangle
+        with pytest.raises(NucleusValidationError, match="coverage"):
+            validate_nucleus_decomposition(graph, 3, 4, cores)
+
+    def test_overstated_core_rejected(self):
+        graph, cores = self._correct()
+        cores[(2, 3, 6)] = 2  # cdg actually has core 0
+        with pytest.raises(NucleusValidationError, match="soundness"):
+            validate_nucleus_decomposition(graph, 3, 4, cores)
+
+    def test_understated_core_rejected(self):
+        graph, cores = self._correct()
+        cores[(0, 1, 2)] = 1  # abc actually has core 2
+        with pytest.raises(NucleusValidationError, match="maximality"):
+            validate_nucleus_decomposition(graph, 3, 4, cores)
+
+    def test_boolean_wrapper(self):
+        graph, cores = self._correct()
+        assert is_valid_nucleus_decomposition(graph, 3, 4, cores)
+        cores[(0, 1, 2)] = 0
+        assert not is_valid_nucleus_decomposition(graph, 3, 4, cores)

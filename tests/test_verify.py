@@ -1,0 +1,64 @@
+"""Tests for the brute-force oracle itself (repro.core.verify).
+
+The oracle must be independently trustworthy: we pin it against networkx
+and against hand-computed instances.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.verify import (brute_force_kcore, brute_force_ktruss,
+                               brute_force_nucleus)
+from repro.graph.generators import (complete_graph, cycle_graph,
+                                    figure1_graph, star_graph)
+
+
+class TestKCore:
+    def test_matches_networkx(self, community60):
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        expected = nx.core_number(nx_graph)
+        cores = brute_force_kcore(community60)
+        assert all(cores[v] == expected[v] for v in range(community60.n))
+
+    def test_cycle_is_2core(self):
+        assert set(brute_force_kcore(cycle_graph(9))) == {2}
+
+    def test_star(self):
+        cores = brute_force_kcore(star_graph(5))
+        assert set(cores) == {1}
+
+    def test_complete(self):
+        assert set(brute_force_kcore(complete_graph(6))) == {5}
+
+
+class TestKTruss:
+    def test_matches_networkx_truss(self, community60):
+        """k-truss(k) membership agrees with networkx's k_truss: an edge
+        with triangle-core c belongs to the (c+2)-truss but not (c+3)."""
+        cores = brute_force_ktruss(community60)
+        nx_graph = nx.Graph(list(map(tuple, community60.edges())))
+        max_core = max(cores.values())
+        for k in range(2, max_core + 3):
+            member_edges = {tuple(sorted(e))
+                            for e in nx.k_truss(nx_graph, k).edges()}
+            expected = {e for e, c in cores.items() if c >= k - 2}
+            assert member_edges == expected
+
+    def test_complete_graph(self):
+        cores = brute_force_ktruss(complete_graph(6))
+        assert set(cores.values()) == {4}
+
+
+class TestNucleus:
+    def test_figure1_34(self):
+        cores = brute_force_nucleus(figure1_graph(), 3, 4)
+        assert cores[(2, 3, 6)] == 0  # cdg
+        assert cores[(0, 1, 5)] == 1  # abf
+        assert cores[(0, 1, 2)] == 2  # abc
+
+    def test_invalid_rs(self):
+        with pytest.raises(ValueError):
+            brute_force_nucleus(figure1_graph(), 3, 2)
+
+    def test_empty_result_when_no_r_cliques(self):
+        assert brute_force_nucleus(cycle_graph(8), 3, 4) == {}

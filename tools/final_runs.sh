@@ -1,0 +1,8 @@
+#!/bin/bash
+# Final verification sequence: full tests, full benchmarks, experiment report.
+set -x
+cd /root/repo
+python3 -m pytest tests/ --durations=15 2>&1 | tee /root/repo/test_output.txt
+python3 -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+python3 tools/generate_experiments.py 2>&1 | tee /tmp/gen_experiments_final.log
+echo FINAL-RUNS-DONE
