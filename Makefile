@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench benchmarks examples experiments lint clean
+.PHONY: install test bench benchmarks examples experiments lint sanitize clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,17 @@ examples:
 
 experiments:
 	$(PYTHON) tools/generate_experiments.py
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style checks"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro.sanitize.parlint src/repro
+
+sanitize:
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..parallel.runtime import CostTracker, _log2
+from ..sanitize.racecheck import maybe_shadow
 from .common import BaselineResult, Incidence, h_index
 
 
@@ -37,7 +38,9 @@ def _local_decomposition(graph: CSRGraph, r: int, s: int, name: str,
     tracker = tracker or CostTracker()
     with tracker.phase("count"):
         inc = Incidence(graph, r, s, tracker)
-    tau = inc.initial_counts.copy()
+    # The tau estimates are the one shared array of the local algorithms;
+    # sweeps are synchronizing rounds, so plain accesses are race-free.
+    tau = maybe_shadow(inc.initial_counts.copy(), tracker, label="and_tau")
     visits = 0
     iterations = 0
     # AND-NN: dirty flags; plain AND re-evaluates everything each sweep.

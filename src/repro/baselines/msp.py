@@ -17,6 +17,7 @@ from ..graph.csr import CSRGraph
 from ..parallel.atomics import ContentionMeter
 from ..parallel.primitives import intersect_sorted
 from ..parallel.runtime import CostTracker, _log2
+from ..sanitize.racecheck import maybe_shadow
 from .common import BaselineResult
 
 
@@ -29,7 +30,11 @@ def msp_decomposition(graph: CSRGraph,
         tracker.add_cliques(sum(support.values()) // 3)
     edges = list(support)
     index = {e: i for i, e in enumerate(edges)}
-    sup = np.asarray([support[e] for e in edges], dtype=np.int64)
+    # MSP's support decrements are atomics too; shadow them (mediated)
+    # when a race detector rides along on the tracker.
+    sup = maybe_shadow(np.asarray([support[e] for e in edges],
+                                  dtype=np.int64),
+                       tracker, atomic=True, label="msp_support")
     alive = np.ones(len(edges), dtype=bool)
     core = {}
     rounds = 0

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..parallel.runtime import CostTracker, _log2
+from ..sanitize.racecheck import maybe_shadow
 from .common import BaselineResult, Incidence
 
 
@@ -43,7 +44,10 @@ def _peel_one_at_a_time(graph: CSRGraph, r: int, s: int, name: str,
         tracker.add_work(extra)
         if not parallel_updates:
             tracker.add_span(extra)
-    counts = inc.initial_counts.copy()
+    # ND/PND peel one r-clique at a time, so count updates are ordered;
+    # shadow them as plain accesses to let the race detector confirm it.
+    counts = maybe_shadow(inc.initial_counts.copy(), tracker,
+                          label="nd_counts")
     s_alive = np.ones(inc.n_s, dtype=bool)
     alive = np.ones(inc.n_r, dtype=bool)
     core = {}

@@ -33,6 +33,7 @@ from ..graph.csr import CSRGraph
 from ..parallel.atomics import ContentionMeter
 from ..parallel.primitives import intersect_sorted
 from ..parallel.runtime import CostTracker, _log2
+from ..sanitize.racecheck import maybe_shadow
 from .common import BaselineResult
 
 #: Synchronization passes of the parallel sample sort used for reordering.
@@ -55,7 +56,11 @@ def _pkt_like(graph: CSRGraph, name: str, intersection_cost: float,
         tracker.add_cliques(sum(support.values()) // 3)
     edges = list(support)
     index = {e: i for i, e in enumerate(edges)}
-    sup = np.asarray([support[e] for e in edges], dtype=np.int64)
+    # Support decrements are the fetch-and-subs of the real PKT; shadow
+    # them (mediated) when a race detector rides along on the tracker.
+    sup = maybe_shadow(np.asarray([support[e] for e in edges],
+                                  dtype=np.int64),
+                       tracker, atomic=True, label="pkt_support")
     alive = np.ones(len(edges), dtype=bool)
     core = {}
     rounds = 0

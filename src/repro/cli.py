@@ -7,10 +7,14 @@ Subcommands::
     python -m repro.cli generate --kind rmat --scale 10 --edge-factor 8 -o g.txt
     python -m repro.cli stats --dataset skitter
     python -m repro.cli figure fig14
+    python -m repro.cli lint src/repro --json
+    python -m repro.cli sanitize
 
 ``decompose`` reads a SNAP-style edge list (or a named surrogate dataset),
 runs ARB-NUCLEUS-DECOMP, and prints summary statistics, the core-number
-histogram, and optionally every r-clique's core number.
+histogram, and optionally every r-clique's core number.  ``lint`` runs the
+parlint cost-accounting rules (PAR001--PAR004) and ``sanitize`` drives the
+dynamic race detector over the main algorithm and the baselines.
 """
 
 from __future__ import annotations
@@ -120,6 +124,59 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .sanitize.parlint import lint_paths, report_json
+    findings, n_files = lint_paths(args.paths)
+    if args.json:
+        print(report_json(findings, n_files))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"parlint: {len(findings)} finding(s) in {n_files} file(s)")
+    return 1 if findings else 0
+
+
+def _cmd_sanitize(args) -> int:
+    """Run every decomposition under the dynamic race detector."""
+    from .baselines.local import and_decomposition
+    from .baselines.msp import msp_decomposition
+    from .baselines.nd import nd_decomposition
+    from .baselines.pkt import pkt_decomposition
+    from .graph.generators import figure1_graph
+    from .sanitize.racecheck import RaceDetector
+
+    if args.dataset:
+        graph, name = load_dataset(args.dataset), args.dataset
+    else:
+        graph, name = figure1_graph(), "figure1"
+    runs = [
+        ("arb (2,3)", lambda t: arb_nucleus_decomp(
+            graph, 2, 3, NucleusConfig.optimal(2, 3), t)),
+        ("arb (1,2)", lambda t: arb_nucleus_decomp(
+            graph, 1, 2, NucleusConfig.optimal(1, 2), t)),
+        ("nd", lambda t: nd_decomposition(graph, 2, 3, t)),
+        ("pkt", lambda t: pkt_decomposition(graph, t)),
+        ("msp", lambda t: msp_decomposition(graph, t)),
+        ("and", lambda t: and_decomposition(graph, 2, 3, t)),
+    ]
+    failures = 0
+    print(f"sanitize: graph {name} (n={graph.n} m={graph.m})")
+    for label, run in runs:
+        tracker = CostTracker()
+        detector = RaceDetector()
+        tracker.race_detector = detector
+        run(tracker)
+        races = detector.settle(strict=False)
+        stats = detector.stats
+        status = "ok" if not races else f"{len(races)} race(s)"
+        print(f"  {label:<10} {status}  "
+              f"({stats.logged} accesses, {stats.tasks} tasks)")
+        for race in races[:10]:
+            print(f"    {race.describe()}")
+        failures += bool(races)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +229,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper figure's table")
     p.add_argument("name", help="fig07 .. fig15")
     p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("lint",
+                       help="run the parlint cost-accounting rules")
+    p.add_argument("paths", nargs="+", help="files or directories")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON report")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="run the race detector over arb + the baselines")
+    p.add_argument("--dataset", choices=dataset_names(),
+                   help="named surrogate dataset (default: figure-1 graph)")
+    p.set_defaults(func=_cmd_sanitize)
     return parser
 
 

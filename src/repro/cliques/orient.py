@@ -181,7 +181,8 @@ def orientation_rank(graph: CSRGraph, method: str = "goodrich_pszona",
                      tracker: CostTracker | None = None) -> np.ndarray:
     """The rank permutation for a named orientation algorithm."""
     if method not in _ORDERINGS:
-        raise ValueError(f"unknown orientation {method!r}; options: {sorted(_ORDERINGS)}")
+        raise ValueError(
+            f"unknown orientation {method!r}; options: {sorted(_ORDERINGS)}")
     return _ORDERINGS[method](graph, tracker=tracker) if method != "degeneracy" \
         else degeneracy_order(graph, tracker)
 

@@ -24,6 +24,13 @@ Contention flows through a :class:`~repro.parallel.atomics.ContentionMeter`
 settled by the caller at the end of each round, so the simple array's
 serialized fetch-and-adds lengthen the simulated critical path exactly as
 the paper describes.
+
+Race checking: when the tracker carries a
+:class:`~repro.sanitize.racecheck.RaceDetector`, every insertion
+shadow-logs its accesses --- cursor reservations as mediated fetch-and-adds,
+the reserved slot as a plain write (safe because reservation makes the slot
+private), and the list buffer's per-thread state under a ``("thread", t)``
+owner, since tasks multiplexed onto one simulated worker run sequentially.
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ class SimpleArrayAggregator:
         self._cursor = 0
         self.tracker = tracker
         self.meter = meter
+        self._slot_base = None  # lazily race-detector-allocated
 
     def begin_round(self, peeled: int, update_estimate: int) -> None:
         del peeled, update_estimate
@@ -60,11 +68,21 @@ class SimpleArrayAggregator:
 
     def record(self, cell: int, thread: int = 0) -> None:
         del thread
+        detector = None
         if self.tracker is not None:
             self.tracker.add_work(1.0)
             self.tracker.add_atomic()
+            detector = self.tracker.race_detector
         if self.meter is not None:
             self.meter.record(_CURSOR_ADDRESS)  # every insert hits the cursor
+        if detector is not None:
+            # fetch-and-add on the shared cursor, then a plain write to the
+            # privately reserved slot.
+            detector.log(_CURSOR_ADDRESS, write=True, atomic=True)
+            if self._slot_base is None:
+                self._slot_base = detector.allocate(
+                    self._slots.size, "U_array")
+            detector.log(self._slot_base + self._cursor, write=True)
         self._slots[self._cursor] = cell
         self._cursor += 1
 
@@ -89,6 +107,7 @@ class ListBufferAggregator:
             dtype=np.int64)
         self.tracker = tracker
         self.meter = meter
+        self._slot_base = None  # lazily race-detector-allocated
         self._next_block = 0
         self._thread_cursor = np.zeros(self.threads, dtype=np.int64)
         self._thread_remaining = np.zeros(self.threads, dtype=np.int64)
@@ -103,6 +122,8 @@ class ListBufferAggregator:
 
     def record(self, cell: int, thread: int = 0) -> None:
         thread %= self.threads
+        detector = (self.tracker.race_detector
+                    if self.tracker is not None else None)
         if self._thread_remaining[thread] == 0:
             # Reserve the next block with a fetch-and-add on the shared
             # block cursor -- the only contended operation.
@@ -110,12 +131,24 @@ class ListBufferAggregator:
                 self.meter.record(_BLOCK_CURSOR_ADDRESS)
             if self.tracker is not None:
                 self.tracker.add_atomic()
+            if detector is not None:
+                detector.log(_BLOCK_CURSOR_ADDRESS, write=True, atomic=True)
             self._thread_cursor[thread] = self._next_block
             self._thread_remaining[thread] = self.buffer_size
             self._next_block += self.buffer_size
             self._allocated += self.buffer_size
         if self.tracker is not None:
             self.tracker.add_work(1.0)
+        if detector is not None:
+            # Slots inside a reserved block (and the cursors themselves)
+            # belong to the worker thread, not the task: tasks sharing a
+            # worker run sequentially, so attribute accesses to the worker.
+            if self._slot_base is None:
+                self._slot_base = detector.allocate(
+                    self._slots.size, "U_list_buffer")
+            owner = ("thread", int(thread))
+            detector.log(self._slot_base + int(self._thread_cursor[thread]),
+                         write=True, owner=owner)
         self._slots[self._thread_cursor[thread]] = cell
         self._thread_cursor[thread] += 1
         self._thread_remaining[thread] -= 1
@@ -143,6 +176,7 @@ class HashTableAggregator:
         self.capacity = max(1, capacity)
         self.tracker = tracker
         self._table: ParallelHashTable | None = None
+        self._slot_base = None  # lazily race-detector-allocated
 
     def begin_round(self, peeled: int, update_estimate: int) -> None:
         # Size the table from this round's peel: fewer peeled r-cliques
@@ -152,6 +186,14 @@ class HashTableAggregator:
 
     def record(self, cell: int, thread: int = 0) -> None:
         del thread
+        if self.tracker is not None and self.tracker.race_detector is not None:
+            # Hash-table inserts are CAS-mediated slot claims.
+            if self._slot_base is None:
+                self._slot_base = self.tracker.race_detector.allocate(
+                    self.capacity, "U_hash")
+            self.tracker.race_detector.log(
+                self._slot_base + int(cell) % self.capacity,
+                write=True, atomic=True)
         self._table.insert_or_add(cell, 0.0)
 
     def finish_round(self) -> np.ndarray:

@@ -36,6 +36,7 @@ from ..machine.cache import AddressSpace
 from ..parallel.atomics import ContentionMeter
 from ..parallel.primitives import intersect_many
 from ..parallel.runtime import CostTracker, _log2
+from ..sanitize.racecheck import maybe_shadow
 from .aggregation import make_aggregator
 from .config import NucleusConfig
 from .tables import CliqueTable
@@ -174,10 +175,18 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
     with tracker.phase("bucket"):
         buckets = make_bucketing(config.bucketing, cells, counts0,
                                  tracker=tracker, window=config.bucket_window)
-    status = np.zeros(table.total_cells, dtype=np.int8)
-    last_round = np.full(table.total_cells, -1, dtype=np.int64)
-    cores = np.zeros(table.total_cells, dtype=np.int64)
-    meter = ContentionMeter()
+    # Shared peeling state.  Under race checking (repro.sanitize) the
+    # arrays are shadow-wrapped: ``status``/``cores`` are written only at
+    # round barriers and read inside tasks (plain accesses), while the
+    # first-touch stamp ``last_round`` is test-and-set state that the real
+    # implementation mediates with a CAS, hence ``atomic=True``.
+    status = maybe_shadow(np.zeros(table.total_cells, dtype=np.int8),
+                          tracker, label="status")
+    last_round = maybe_shadow(np.full(table.total_cells, -1, dtype=np.int64),
+                              tracker, atomic=True, label="last_round")
+    cores = maybe_shadow(np.zeros(table.total_cells, dtype=np.int64),
+                         tracker, label="cores")
+    meter = ContentionMeter(detector=tracker.race_detector)
     aggregator = make_aggregator(
         config.aggregation, table.total_cells, threads=config.threads,
         tracker=tracker, meter=meter, buffer_size=config.buffer_size)

@@ -265,6 +265,11 @@ class CliqueTable:
         self._counts[cell] += delta
         if self.tracker is not None:
             self.tracker.add_atomic()
+            detector = self.tracker.race_detector
+            if detector is not None:
+                # The count update is a fetch-and-add in the paper's
+                # implementation: shadow-log it as a mediated write.
+                detector.log(self._address_of(cell), write=True, atomic=True)
         return cell
 
     def add_count_at(self, cell: int, delta: float) -> None:
@@ -274,6 +279,9 @@ class CliqueTable:
             self.tracker.add_work(1.0)
             self.tracker.add_atomic()
             self.tracker.access(self._address_of(cell))
+            detector = self.tracker.race_detector
+            if detector is not None:
+                detector.log(self._address_of(cell), write=True, atomic=True)
 
     def count_at(self, cell: int) -> float:
         return float(self._counts[cell])

@@ -30,13 +30,18 @@ class ContentionMeter:
     serial steps instead of 1.
     """
 
-    def __init__(self, cost_per_conflict: float = 1.0) -> None:
+    def __init__(self, cost_per_conflict: float = 1.0, detector=None) -> None:
         self.cost_per_conflict = cost_per_conflict
         self._counts: Counter = Counter()
         self.total_conflicts = 0
+        #: Optional :class:`repro.sanitize.racecheck.RaceDetector`; every
+        #: recorded atomic is forwarded as a mediated write.
+        self.detector = detector
 
     def record(self, address: int, count: int = 1) -> None:
         self._counts[address] += count
+        if self.detector is not None:
+            self.detector.log(address, write=True, atomic=True)
 
     def settle(self, tracker: CostTracker | None) -> float:
         """Charge this step's serialized span to ``tracker`` and reset."""
@@ -75,18 +80,55 @@ class AtomicArray:
             self.tracker.add_work(1.0)
             self.tracker.add_atomic()
             self.tracker.access(self.base_address + int(index))
+            detector = self.tracker.race_detector
+            if detector is not None:
+                detector.log(self.base_address + int(index), write=True,
+                             atomic=True)
         if self.meter is not None:
             self.meter.record(self.base_address + int(index))
         return prior
 
+    def compare_and_swap(self, index: int, expected, value) -> bool:
+        """Atomically set ``index`` to ``value`` iff it still holds
+        ``expected``; returns whether the swap happened.
+
+        The CAS loop is the mediation the paper's implementation uses for
+        first-touch detection and bucket moves; charged like one atomic.
+        """
+        if self.tracker is not None:
+            self.tracker.add_work(1.0)
+            self.tracker.add_atomic()
+            self.tracker.access(self.base_address + int(index))
+            detector = self.tracker.race_detector
+            if detector is not None:
+                detector.log(self.base_address + int(index), write=True,
+                             atomic=True)
+        if self.meter is not None:
+            self.meter.record(self.base_address + int(index))
+        if self.values[index] != expected:
+            return False
+        self.values[index] = value
+        return True
+
     def read(self, index: int):
+        """Atomic load (mediated: never races with other atomics)."""
         if self.tracker is not None:
             self.tracker.add_work(1.0)
             self.tracker.access(self.base_address + int(index))
+            detector = self.tracker.race_detector
+            if detector is not None:
+                detector.log(self.base_address + int(index), write=False,
+                             atomic=True)
         return self.values[index]
 
     def write(self, index: int, value) -> None:
+        """A *plain* store, not an atomic: concurrent use from different
+        simulated tasks is a data race the race detector will flag."""
         self.values[index] = value
         if self.tracker is not None:
             self.tracker.add_work(1.0)
             self.tracker.access(self.base_address + int(index))
+            detector = self.tracker.race_detector
+            if detector is not None:
+                detector.log(self.base_address + int(index), write=True,
+                             atomic=False)

@@ -17,9 +17,13 @@ from .runtime import CostTracker, _log2
 
 
 def _charge(tracker: CostTracker | None, n: int) -> None:
+    # Each primitive is one bulk-synchronous step of the simulated machine:
+    # O(n) work, O(log n) span, and one global barrier (round).  Without
+    # the round, code built from primitives under-counted its barriers.
     if tracker is not None:
         tracker.add_work(float(n))
         tracker.add_span(_log2(n))
+        tracker.add_round(1)
 
 
 def prefix_sum(values, tracker: CostTracker | None = None, exclusive: bool = True):

@@ -59,21 +59,34 @@ class _Frame:
 class _ParallelRegion:
     """Accounting context for one parallel-for; see :meth:`CostTracker.parallel`."""
 
-    __slots__ = ("_tracker", "_n", "_max_task_span")
+    __slots__ = ("_tracker", "_n", "_max_task_span", "_detector",
+                 "_region_id", "_task_counter")
 
     def __init__(self, tracker: "CostTracker", n_tasks: int) -> None:
         self._tracker = tracker
         self._n = max(1, n_tasks)
         self._max_task_span = 0.0
+        # Optional race detector (repro.sanitize): regions and tasks report
+        # their lifetimes so shadow-logged accesses carry task ownership.
+        self._detector = tracker.race_detector
+        self._region_id = (self._detector.begin_region()
+                           if self._detector is not None else 0)
+        self._task_counter = 0
 
     @contextmanager
     def task(self):
         """Run one parallel task; its span contributes via a max, not a sum."""
         frame = _Frame()
         self._tracker._frames.append(frame)
+        detector = self._detector
+        if detector is not None:
+            detector.begin_task(self._region_id, self._task_counter)
+            self._task_counter += 1
         try:
             yield frame
         finally:
+            if detector is not None:
+                detector.end_task()
             self._tracker._frames.pop()
             if frame.span > self._max_task_span:
                 self._max_task_span = frame.span
@@ -85,6 +98,8 @@ class _ParallelRegion:
 
     def close(self) -> None:
         self._tracker.add_span(self._max_task_span + _log2(self._n))
+        if self._detector is not None:
+            self._detector.end_region()
 
 
 @dataclass
@@ -126,12 +141,17 @@ class CostTracker:
     * ``table_probes`` -- hash-table probe count (cache-pressure proxy).
     * ``cache`` -- optional :class:`repro.machine.cache.CacheSimulator`; when
       attached, data structures feed it their address streams.
+    * ``race_detector`` -- optional
+      :class:`repro.sanitize.racecheck.RaceDetector`; when attached,
+      parallel regions report task lifetimes to it and instrumented
+      structures shadow-log their accesses (accounting is unchanged).
     """
 
     def __init__(self) -> None:
         self.total = PhaseStats()
         self.phases: dict[str, PhaseStats] = {}
         self.cache = None  # optional CacheSimulator
+        self.race_detector = None  # optional sanitize.RaceDetector
         self.peak_memory_units = 0
         self._frames: list[_Frame] = [_Frame()]
         self._phase_stack: list[str] = []

@@ -1,0 +1,36 @@
+"""Static and dynamic analysis for the simulated parallel machine.
+
+Two layers guard the accounting discipline everything in EXPERIMENTS.md
+depends on:
+
+* :mod:`repro.sanitize.parlint` -- an AST lint pass over the source tree
+  with project-specific rules (PAR001--PAR004): parallel regions must
+  charge work/span, graph-scale loops must be cost-accounted, shared writes
+  inside tasks must be mediated, contention meters must be settled.
+* :mod:`repro.sanitize.racecheck` -- a dynamic race detector (the
+  ThreadSanitizer analog for the work-span simulator): instrumented
+  structures shadow-log accesses per simulated task, and unmediated
+  write-write / read-write pairs across tasks are flagged.
+
+CLI entry points: ``repro lint`` and ``repro sanitize``.
+"""
+
+from .racecheck import (Race, RaceDetector, RaceError, RaceStats,
+                        ShadowArray, maybe_shadow)
+
+__all__ = [
+    "RaceDetector", "RaceError", "Race", "RaceStats",
+    "ShadowArray", "maybe_shadow",
+    "Finding", "lint_file", "lint_paths",
+]
+
+_PARLINT_EXPORTS = {"Finding", "lint_file", "lint_paths"}
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.sanitize.parlint`` doesn't import the
+    # module twice (runpy would warn about the stale sys.modules entry).
+    if name in _PARLINT_EXPORTS:
+        from . import parlint
+        return getattr(parlint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

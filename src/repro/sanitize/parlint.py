@@ -1,0 +1,427 @@
+"""parlint: AST lint rules for the cost-accounting discipline.
+
+Every simulated-time figure this reproduction reports is a function of the
+counters charged to :class:`~repro.parallel.runtime.CostTracker`.  The
+discipline that keeps those counters honest (charge work inside parallel
+regions, account graph-scale loops, mediate shared writes, settle
+contention meters) is enforced here rather than by convention.
+
+Rules (stable ids):
+
+``PAR001``
+    A ``tracker.parallel(...)`` region whose body never charges work or
+    span: the simulated machine would believe the region is free.
+``PAR002``
+    A Python-level ``for`` loop over graph-scale data (``range`` of an
+    ``n`` / ``m`` / clique-table size attribute) inside cost-accounted code
+    with no tracker charge on any path: neither in the loop body nor as an
+    aggregate charge in the loop's enclosing statement block.
+``PAR003``
+    A direct subscript mutation of a shared array lexically inside a
+    ``region.task()`` block; shared writes from tasks must go through
+    :class:`~repro.parallel.atomics.AtomicArray` or the parallel
+    primitives.  (Arrays *created inside* the task are task-private and
+    exempt.)
+``PAR004``
+    A :class:`~repro.parallel.atomics.ContentionMeter` constructed but
+    never ``settle()``-d in (and never escaping) its scope: its recorded
+    collisions would never reach the tracker.
+
+False positives are silenced in place with a trailing comment on the
+flagged line::
+
+    for v in range(graph.n):  # parlint: disable=PAR002
+
+Run as a module (``python -m repro.sanitize.parlint src/repro``) or via
+``repro lint``; ``--json`` emits a machine-readable report.  Exit status is
+1 when findings remain, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+RULES = {
+    "PAR001": "parallel region never charges work/span",
+    "PAR002": "graph-scale loop without a tracker charge",
+    "PAR003": "unmediated shared-array write inside a task",
+    "PAR004": "ContentionMeter constructed but never settled",
+}
+
+#: Methods whose call constitutes a cost charge.
+_CHARGE_METHODS = frozenset({
+    "add_work", "add_span", "add_round", "add_atomic", "add_contention",
+    "add_cliques", "add_probes", "access", "task_span", "_charge", "charge",
+})
+#: The subset that satisfies PAR001 (the region must cost work or span).
+_REGION_CHARGE_METHODS = frozenset({
+    "add_work", "add_span", "task_span", "_charge", "charge",
+})
+#: Attributes that mark an iteration bound as graph-scale (PAR002).
+_SCALE_ATTRS = frozenset({
+    "n", "m", "n_r", "n_s", "n_cliques", "total_cells",
+})
+
+_DISABLE_RE = re.compile(r"#\s*parlint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, stable across runs (used for the JSON report)."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _calls_in(node: ast.AST):
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+def _is_charge_call(call: ast.Call, methods: frozenset) -> bool:
+    """A charge is a known charging method, or any call handed a tracker."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in methods:
+        return True
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == "tracker":
+            return True
+        if isinstance(arg, ast.Attribute) and arg.attr == "tracker":
+            return True
+    for kw in call.keywords:
+        if kw.arg == "tracker" and not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None):
+            return True
+    return False
+
+
+def _body_charges(nodes: list[ast.stmt], methods: frozenset) -> bool:
+    for stmt in nodes:
+        for call in _calls_in(stmt):
+            if _is_charge_call(call, methods):
+                return True
+    return False
+
+
+def _with_call_attr(item: ast.withitem) -> str | None:
+    """The attribute name when a with-item is ``<expr>.<attr>(...)``."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        return expr.func.attr
+    return None
+
+
+def _mentions_tracker(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "tracker":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "tracker":
+            return True
+        if isinstance(sub, ast.arg) and sub.arg == "tracker":
+            return True
+    return False
+
+
+class _Scope:
+    """One function (or the module) for PAR004 escape analysis."""
+
+    def __init__(self, node: ast.AST) -> None:
+        self.node = node
+        self.meters: list[tuple[str, int, int]] = []  # (name, line, col)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self._scopes: list[_Scope] = []
+        self._blocks: list[list[ast.stmt]] = []  # statement-list stack
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(rule, self.path, node.lineno,
+                                     node.col_offset, message))
+
+    # -- scope handling (PAR004) ----------------------------------------------
+
+    def _enter_scope(self, node: ast.AST) -> None:
+        self._scopes.append(_Scope(node))
+        self.generic_visit(node)
+        self._check_meters(self._scopes.pop())
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._enter_scope(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        ctor = value.func if isinstance(value, ast.Call) else None
+        name = (ctor.id if isinstance(ctor, ast.Name)
+                else ctor.attr if isinstance(ctor, ast.Attribute) else None)
+        if name == "ContentionMeter" and self._scopes:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._scopes[-1].meters.append(
+                        (target.id, node.lineno, node.col_offset))
+        self.generic_visit(node)
+
+    def _check_meters(self, scope: _Scope) -> None:
+        for name, line, col in scope.meters:
+            if self._meter_is_used(scope.node, name):
+                continue
+            self.findings.append(Finding(
+                "PAR004", self.path, line, col,
+                f"ContentionMeter {name!r} is never settle()d and never "
+                f"escapes its scope; its collisions are lost"))
+
+    @staticmethod
+    def _meter_is_used(scope_node: ast.AST, name: str) -> bool:
+        """settle() called on it, or it escapes (argument / return /
+        attribute store / container literal)."""
+        for sub in ast.walk(scope_node):
+            if isinstance(sub, ast.Attribute) and sub.attr == "settle" \
+                    and isinstance(sub.value, ast.Name) \
+                    and sub.value.id == name:
+                return True
+            if isinstance(sub, ast.Call):
+                operands = list(sub.args) + [kw.value for kw in sub.keywords]
+                if any(isinstance(a, ast.Name) and a.id == name
+                       for a in operands):
+                    return True
+            if isinstance(sub, ast.Return) and isinstance(sub.value, ast.Name) \
+                    and sub.value.id == name:
+                return True
+            if isinstance(sub, ast.Assign):
+                if any(isinstance(t, (ast.Attribute, ast.Subscript))
+                       for t in sub.targets) \
+                        and isinstance(sub.value, ast.Name) \
+                        and sub.value.id == name:
+                    return True
+            if isinstance(sub, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+                values = getattr(sub, "elts", None)
+                if values is None:
+                    values = list(sub.values)
+                if any(isinstance(v, ast.Name) and v.id == name
+                       for v in values):
+                    return True
+        return False
+
+    # -- PAR001 / PAR003 -------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            attr = _with_call_attr(item)
+            if attr == "parallel":
+                if not _body_charges(node.body, _REGION_CHARGE_METHODS):
+                    self._emit("PAR001", node,
+                               "parallel region whose body never charges "
+                               "work or span to the tracker")
+            elif attr == "task":
+                self._check_task_body(node)
+        self.generic_visit(node)
+
+    def _check_task_body(self, node: ast.With) -> None:
+        local = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        local.add(target.id)
+            elif isinstance(sub, (ast.For, ast.comprehension)):
+                target = sub.target
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    local.update(e.id for e in target.elts
+                                 if isinstance(e, ast.Name))
+        for sub in ast.walk(node):
+            targets = []
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                targets = [sub.target]
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = target.value
+                shared = (isinstance(base, ast.Attribute)
+                          or (isinstance(base, ast.Name)
+                              and base.id not in local))
+                if shared:
+                    label = (base.id if isinstance(base, ast.Name)
+                             else base.attr)
+                    self._emit(
+                        "PAR003", sub,
+                        f"direct write to shared array {label!r} inside a "
+                        f"task; mediate it through AtomicArray or the "
+                        f"parallel primitives")
+
+    # -- PAR002 ----------------------------------------------------------------
+
+    def generic_visit(self, node: ast.AST) -> None:
+        """Track the stack of statement blocks (for PAR002's aggregate-
+        charge escape hatch) while walking."""
+        for name, value in ast.iter_fields(node):
+            if isinstance(value, list) and value \
+                    and all(isinstance(v, ast.stmt) for v in value):
+                self._blocks.append(value)
+                for stmt in value:
+                    self.visit(stmt)
+                self._blocks.pop()
+            elif isinstance(value, ast.AST):
+                self.visit(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.AST):
+                        self.visit(item)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_graph_scale(node.iter) and self._in_tracked_scope() \
+                and not _body_charges(node.body, _CHARGE_METHODS) \
+                and not self._block_charges_around(node):
+            self._emit("PAR002", node,
+                       "loop over graph-scale data with no tracker charge "
+                       "on any path (neither in the body nor as an "
+                       "aggregate charge beside the loop)")
+        self.generic_visit(node)
+
+    def _block_charges_around(self, node: ast.For) -> bool:
+        """An aggregate charge beside the loop (same statement block)
+        accounts for it --- the listing/contraction pattern of charging
+        ``O(n)`` once instead of ``O(1)`` per iteration."""
+        if not self._blocks:
+            return False
+        block = self._blocks[-1]
+        siblings = [stmt for stmt in block if stmt is not node]
+        return _body_charges(siblings, _CHARGE_METHODS)
+
+    @staticmethod
+    def _is_graph_scale(iter_expr: ast.expr) -> bool:
+        if not (isinstance(iter_expr, ast.Call)
+                and isinstance(iter_expr.func, ast.Name)
+                and iter_expr.func.id == "range"):
+            return False
+        for arg in iter_expr.args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Attribute) \
+                        and sub.attr in _SCALE_ATTRS:
+                    return True
+        return False
+
+    def _in_tracked_scope(self) -> bool:
+        """Only flag PAR002 in code that participates in cost accounting
+        at all (a scope mentioning a tracker); pure utilities are exempt."""
+        for scope in reversed(self._scopes):
+            if isinstance(scope.node, ast.Module):
+                continue
+            return _mentions_tracker(scope.node)
+        return False
+
+
+def _suppressed(findings: list[Finding], source: str) -> list[Finding]:
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        if finding.line <= len(lines):
+            match = _DISABLE_RE.search(lines[finding.line - 1])
+            if match and finding.rule in {
+                    rule.strip() for rule in match.group(1).split(",")}:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source string; returns surviving findings."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path)
+    linter.visit(tree)
+    return _suppressed(linter.findings, source)
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one Python file.
+
+    Unreadable or unparsable files are reported as findings (pseudo-rules
+    ``IOERR`` / ``SYNTAX``) rather than crashing the run, so one bad file
+    cannot hide findings in the rest of a tree.
+    """
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding("IOERR", str(path), 0, 0,
+                        f"cannot read file: {exc.strerror or exc}")]
+    try:
+        return lint_source(source, str(path))
+    except SyntaxError as exc:
+        return [Finding("SYNTAX", str(path), exc.lineno or 0,
+                        exc.offset or 0, f"syntax error: {exc.msg}")]
+
+
+def lint_paths(paths: list[str | Path]) -> tuple[list[Finding], int]:
+    """Lint files and/or directory trees; returns (findings, files seen)."""
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    findings: list[Finding] = []
+    for source in files:
+        findings.extend(lint_file(source))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)
+
+
+def report_json(findings: list[Finding], n_files: int) -> str:
+    """The machine-readable report consumed by CI and editor tooling."""
+    return json.dumps({
+        "tool": "parlint",
+        "version": 1,
+        "checked_files": n_files,
+        "rules": RULES,
+        "findings": [asdict(finding) for finding in findings],
+    }, indent=2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.sanitize.parlint [--json] PATH [PATH ...]``."""
+    parser = argparse.ArgumentParser(
+        prog="parlint",
+        description="lint the cost-accounting discipline of the simulated "
+                    "parallel machine (rules PAR001-PAR004)")
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    args = parser.parse_args(argv)
+    findings, n_files = lint_paths(args.paths)
+    if args.json:
+        print(report_json(findings, n_files))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"parlint: {len(findings)} finding(s) in {n_files} file(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

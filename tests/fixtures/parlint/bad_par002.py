@@ -1,0 +1,8 @@
+"""Fixture: a graph-scale loop with no tracker charge on any path."""
+
+
+def count_degrees(graph, tracker):
+    total = 0
+    for v in range(graph.n):
+        total += len(graph.neighbors(v))
+    return total

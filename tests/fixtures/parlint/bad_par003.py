@@ -1,0 +1,9 @@
+"""Fixture: direct numpy mutation of a shared array inside a task."""
+
+
+def update(tracker, counts, updates):
+    with tracker.parallel(len(updates)) as region:
+        for i, delta in enumerate(updates):
+            with region.task():
+                tracker.add_work(1.0)
+                counts[i] += delta  # shared-array store without AtomicArray

@@ -1,0 +1,11 @@
+"""Fixture: a ContentionMeter that is constructed but never settled."""
+
+from repro.parallel.atomics import ContentionMeter
+
+
+def round_of_updates(tracker, cells):
+    meter = ContentionMeter()
+    for cell in cells:
+        tracker.add_work(1.0)
+        tracker.add_atomic()
+    return len(cells)

@@ -1,0 +1,15 @@
+"""Fixture: correctly cost-accounted parallel code --- no findings."""
+
+from repro.parallel.atomics import ContentionMeter
+
+
+def peel(tracker, graph):
+    meter = ContentionMeter()
+    with tracker.parallel(graph.n) as region:
+        for v in range(graph.n):
+            with region.task():
+                tracker.add_work(1.0)
+    meter.settle(tracker)
+    for v in range(graph.n):
+        tracker.add_work(1.0)
+    return graph.n

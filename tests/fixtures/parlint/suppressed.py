@@ -1,0 +1,14 @@
+"""Fixture: violations silenced with inline parlint suppressions."""
+
+
+def count_degrees(graph, tracker):
+    total = 0
+    for v in range(graph.n):  # parlint: disable=PAR002
+        total += len(graph.neighbors(v))
+    tracker.add_work(float(total))
+    return total
+
+
+def unaccounted(tracker, items):
+    with tracker.parallel(len(items)):  # parlint: disable=PAR001
+        pass

@@ -48,6 +48,50 @@ class TestContentionMeter:
         meter.record(9, count=3)
         assert meter.settle(CostTracker()) == 5.0
 
+    def test_settle_with_nothing_recorded(self):
+        meter = ContentionMeter()
+        tracker = CostTracker()
+        assert meter.settle(tracker) == 0.0
+        assert tracker.total.contention == 0.0
+        assert meter.total_conflicts == 0
+
+    def test_settle_without_tracker_still_accounts(self):
+        meter = ContentionMeter()
+        meter.record(5, count=4)
+        assert meter.settle(None) == 3.0
+        assert meter.total_conflicts == 3
+
+    def test_repeated_settle_reset_cycles(self):
+        meter = ContentionMeter()
+        tracker = CostTracker()
+        for round_no in range(1, 4):
+            meter.record(1, count=2)
+            assert meter.settle(tracker) == 1.0
+            assert meter.total_conflicts == round_no
+            # The reset is complete: an immediate re-settle is free.
+            assert meter.settle(tracker) == 0.0
+        assert tracker.total.contention == 3.0
+
+    def test_total_conflicts_sums_all_addresses(self):
+        # settle() charges only the worst chain, but total_conflicts keeps
+        # every collision across all addresses and rounds.
+        meter = ContentionMeter()
+        meter.record(1, count=3)
+        meter.record(2, count=5)
+        assert meter.settle(CostTracker()) == 4.0
+        meter.record(2, count=2)
+        meter.settle(CostTracker())
+        assert meter.total_conflicts == (2 + 4) + 1
+
+    def test_forwards_atomics_to_race_detector(self):
+        from repro.sanitize.racecheck import RaceDetector
+        detector = RaceDetector()
+        meter = ContentionMeter(detector=detector)
+        meter.record(3)
+        meter.record(3)
+        assert detector.stats.logged == 2
+        assert detector.settle() == []
+
 
 class TestAtomicArray:
     def test_fetch_add_returns_prior(self):
@@ -70,6 +114,22 @@ class TestAtomicArray:
         arr = AtomicArray(np.zeros(4), meter=meter)
         arr.fetch_add(3, 1.0)
         arr.fetch_add(3, 1.0)
+        assert meter.settle(CostTracker()) == 1.0
+
+    def test_compare_and_swap(self):
+        tracker = CostTracker()
+        arr = AtomicArray(np.zeros(4), tracker=tracker)
+        assert arr.compare_and_swap(1, 0.0, 7.0) is True
+        assert arr.values[1] == 7.0
+        assert arr.compare_and_swap(1, 0.0, 9.0) is False  # stale expected
+        assert arr.values[1] == 7.0
+        assert tracker.total.atomic_ops == 2
+
+    def test_cas_records_contention(self):
+        meter = ContentionMeter()
+        arr = AtomicArray(np.zeros(4), meter=meter)
+        arr.compare_and_swap(2, 0.0, 1.0)
+        arr.compare_and_swap(2, 1.0, 2.0)
         assert meter.settle(CostTracker()) == 1.0
 
     def test_base_address_offsets_cache_stream(self):

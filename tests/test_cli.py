@@ -96,6 +96,34 @@ class TestFigure:
             main(["figure", "fig99"])
 
 
+class TestLint:
+    FIXTURES = "tests/fixtures/parlint"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src/repro"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, capsys):
+        assert main(["lint", f"{self.FIXTURES}/bad_par001.py"]) == 1
+        assert "PAR001" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        import json
+        assert main(["lint", "--json", f"{self.FIXTURES}/bad_par002.py"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["tool"] == "parlint"
+        assert [f["rule"] for f in report["findings"]] == ["PAR002"]
+
+
+class TestSanitize:
+    def test_default_graph_is_race_free(self, capsys):
+        assert main(["sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        for label in ("arb (2,3)", "nd", "pkt", "msp", "and"):
+            assert f"{label:<10} ok" in out
+
+
 def test_parser_subcommands():
     parser = build_parser()
     args = parser.parse_args(["decompose", "--dataset", "dblp",

@@ -1,0 +1,164 @@
+"""Tests for the cost-accounting lint rules (repro.sanitize.parlint)."""
+
+import json
+from pathlib import Path
+
+from repro.sanitize.parlint import (RULES, lint_file, lint_paths, lint_source,
+                                    main, report_json)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "parlint"
+
+
+def rules_of(findings):
+    return sorted(finding.rule for finding in findings)
+
+
+class TestFixtures:
+    def test_each_rule_has_a_fixture(self):
+        for rule in RULES:
+            fixture = FIXTURES / f"bad_{rule.lower()}.py"
+            findings = lint_file(fixture)
+            assert rules_of(findings) == [rule], fixture
+
+    def test_clean_fixture_passes(self):
+        assert lint_file(FIXTURES / "clean.py") == []
+
+    def test_suppressions_silence_findings(self):
+        assert lint_file(FIXTURES / "suppressed.py") == []
+
+    def test_findings_carry_location(self):
+        (finding,) = lint_file(FIXTURES / "bad_par002.py")
+        assert finding.line == 6
+        assert finding.path.endswith("bad_par002.py")
+        assert "bad_par002.py:6:" in finding.render()
+
+
+class TestRules:
+    def test_par001_charged_region_passes(self):
+        source = (
+            "def f(tracker, items):\n"
+            "    with tracker.parallel(len(items)) as region:\n"
+            "        for item in items:\n"
+            "            with region.task():\n"
+            "                tracker.add_work(1.0)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par002_charge_in_body_passes(self):
+        source = (
+            "def f(graph, tracker):\n"
+            "    for v in range(graph.n):\n"
+            "        tracker.add_work(1.0)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par002_aggregate_charge_beside_loop_passes(self):
+        # The listing/contraction pattern: one O(n) charge next to the loop.
+        source = (
+            "def f(graph, tracker):\n"
+            "    for v in range(graph.n):\n"
+            "        visit(v)\n"
+            "    tracker.add_work(float(graph.n))\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par002_untracked_utility_exempt(self):
+        source = (
+            "def degrees(graph):\n"
+            "    return [len(graph.neighbors(v)) for v in range(graph.n)]\n"
+            "def walk(graph):\n"
+            "    for v in range(graph.n):\n"
+            "        yield v\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par002_tracker_passing_call_counts_as_charge(self):
+        source = (
+            "def f(graph, tracker):\n"
+            "    for v in range(graph.n):\n"
+            "        intersect_sorted(a, b, tracker=tracker)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par003_local_array_exempt(self):
+        source = (
+            "def f(tracker, items):\n"
+            "    with tracker.parallel(len(items)) as region:\n"
+            "        for i in items:\n"
+            "            with region.task():\n"
+            "                tracker.add_work(1.0)\n"
+            "                scratch = [0] * 4\n"
+            "                scratch[0] = i\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par004_settled_meter_passes(self):
+        source = (
+            "def f(tracker):\n"
+            "    meter = ContentionMeter()\n"
+            "    meter.settle(tracker)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par004_escaping_meter_passes(self):
+        source = (
+            "def f(tracker):\n"
+            "    meter = ContentionMeter()\n"
+            "    return meter\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par004_meter_passed_to_callee_passes(self):
+        source = (
+            "def f(tracker, capacity):\n"
+            "    meter = ContentionMeter()\n"
+            "    return make_aggregator('array', capacity, meter=meter)\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestRepoIsClean:
+    def test_src_tree_lints_clean(self):
+        src = Path(__file__).parent.parent / "src" / "repro"
+        findings, n_files = lint_paths([src])
+        assert findings == []
+        assert n_files > 50
+
+
+class TestReporting:
+    def test_json_report_shape(self):
+        findings, n_files = lint_paths([FIXTURES / "bad_par001.py"])
+        report = json.loads(report_json(findings, n_files))
+        assert report["tool"] == "parlint"
+        assert report["checked_files"] == 1
+        assert report["rules"] == RULES
+        (entry,) = report["findings"]
+        assert entry["rule"] == "PAR001"
+        assert entry["line"] > 0
+
+    def test_main_exit_codes(self, capsys):
+        assert main([str(FIXTURES / "clean.py")]) == 0
+        assert main([str(FIXTURES / "bad_par003.py")]) == 1
+        out = capsys.readouterr().out
+        assert "PAR003" in out
+
+    def test_main_json_flag(self, capsys):
+        assert main(["--json", str(FIXTURES / "bad_par004.py")]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"][0]["rule"] == "PAR004"
+
+    def test_missing_file_is_a_finding_not_a_crash(self):
+        (finding,) = lint_file("/nonexistent/parlint-probe.py")
+        assert finding.rule == "IOERR"
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        (finding,) = lint_file(bad)
+        assert finding.rule == "SYNTAX"
+        assert finding.line == 1
+
+    def test_directory_discovery(self):
+        findings, n_files = lint_paths([FIXTURES])
+        assert n_files == len(list(FIXTURES.glob("*.py")))
+        assert rules_of(findings) == ["PAR001", "PAR002", "PAR003", "PAR004"]

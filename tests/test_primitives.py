@@ -34,6 +34,17 @@ class TestPrefixSum:
         prefix_sum(np.ones(1000, dtype=np.int64), tracker=t)
         assert t.work == 1000
 
+    def test_charges_one_round_per_invocation(self):
+        # Each primitive is one bulk-synchronous step: a global barrier.
+        t = CostTracker()
+        prefix_sum(np.ones(8, dtype=np.int64), tracker=t)
+        assert t.rounds == 1
+        parallel_filter([1, 2, 3], [True, False, True], tracker=t)
+        pack_indices([True, False], tracker=t)
+        parallel_reduce([1, 2], tracker=t)
+        histogram([0, 1], 2, tracker=t)
+        assert t.rounds == 5
+
     @given(st.lists(st.integers(min_value=0, max_value=100), max_size=50))
     def test_matches_cumsum(self, values):
         out, total = prefix_sum(values, exclusive=False)

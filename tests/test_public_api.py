@@ -19,7 +19,7 @@ def test_all_exports_resolve():
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.cliques", "repro.bucketing", "repro.graph",
     "repro.parallel", "repro.machine", "repro.baselines",
-    "repro.experiments", "repro.cli",
+    "repro.experiments", "repro.cli", "repro.sanitize",
 ])
 def test_subpackages_import(module):
     mod = importlib.import_module(module)
@@ -28,7 +28,7 @@ def test_subpackages_import(module):
 
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.cliques", "repro.bucketing", "repro.graph",
-    "repro.parallel", "repro.baselines",
+    "repro.parallel", "repro.baselines", "repro.sanitize",
 ])
 def test_subpackage_all_resolves(module):
     mod = importlib.import_module(module)
@@ -69,6 +69,7 @@ def test_public_functions_have_docstrings():
                         "repro.analysis.serialize",
                         "repro.baselines.common", "repro.baselines.nd",
                         "repro.baselines.local", "repro.baselines.pkt",
+                        "repro.sanitize.parlint", "repro.sanitize.racecheck",
                         "repro.experiments.harness",
                         "repro.experiments.sweeps"):
         mod = importlib.import_module(module_name)

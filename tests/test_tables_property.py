@@ -1,7 +1,5 @@
 """Property-based tests for the multi-level clique table."""
 
-from itertools import combinations
-
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
