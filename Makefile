@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench benchmarks examples experiments lint sanitize clean
+.PHONY: install test bench profile benchmarks examples experiments lint \
+	sanitize clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,7 +11,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-bench benchmarks:
+# Perf trajectory: run the pinned suite, gate against the committed
+# baseline, and refresh BENCH_nucleus.json (commit it when a perf PR
+# moves the numbers on purpose).
+bench:
+	PYTHONPATH=src $(PYTHON) tools/bench_trajectory.py \
+		--compare BENCH_nucleus.json --output BENCH_nucleus.json
+
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.cli profile --dataset dblp \
+		--r 2 --s 3 -o trace_dblp_2_3.json
+
+benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 examples:

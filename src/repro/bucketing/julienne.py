@@ -133,9 +133,24 @@ class JulienneBucketing:
             if not self.alive[k]:
                 continue
             value = max(int(value), self.peel_floor)
+            offset = value - self.base
+            if offset < 0:
+                # A clamped value below the materialized window would index
+                # self._buckets[offset] with a *negative* offset, silently
+                # appending to the wrong (top-of-window) bucket via Python
+                # negative indexing and corrupting extraction order.  The
+                # peeling loop cannot reach this state (peel_floor >= base
+                # after every extraction, and updates follow extractions),
+                # so a value below base means the caller broke the monotone
+                # protocol --- fail loudly instead of mis-bucketing.
+                raise ValueError(
+                    f"update({int(ident)}) to value {value} below the "
+                    f"current window base {self.base}; values must stay "
+                    f">= the materialized window's base (peel_floor="
+                    f"{self.peel_floor})")
             self.values[k] = value
-            if value < self.base + self.window:
-                self._buckets[value - self.base].append(k)
+            if offset < self.window:
+                self._buckets[offset].append(k)
 
     def value_of(self, ident: int) -> int:
         """Current bucket value of an id (alive or not)."""

@@ -9,12 +9,17 @@ Subcommands::
     python -m repro.cli figure fig14
     python -m repro.cli lint src/repro --json
     python -m repro.cli sanitize
+    python -m repro.cli bench --compare BENCH_nucleus.json -o BENCH_new.json
+    python -m repro.cli profile --dataset dblp --r 2 --s 3 -o trace.json
 
 ``decompose`` reads a SNAP-style edge list (or a named surrogate dataset),
 runs ARB-NUCLEUS-DECOMP, and prints summary statistics, the core-number
 histogram, and optionally every r-clique's core number.  ``lint`` runs the
 parlint cost-accounting rules (PAR001--PAR004) and ``sanitize`` drives the
 dynamic race detector over the main algorithm and the baselines.
+``bench`` runs the pinned perf-trajectory suite (optionally gating on a
+baseline) and ``profile`` runs one decomposition under the trace recorder,
+writing a Chrome-trace JSON and printing the five-term time breakdown.
 """
 
 from __future__ import annotations
@@ -177,6 +182,49 @@ def _cmd_sanitize(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the pinned perf-trajectory suite; optionally gate on a baseline."""
+    from .observe import bench
+    # Load the baseline up front: --output may name the same file.
+    baseline = bench.load_payload(args.compare) if args.compare else None
+    payload = bench.run_suite(threads=args.threads, label=args.label,
+                              progress=lambda msg: print(msg, flush=True))
+    bench.write_payload(payload, args.output)
+    print(f"wrote {len(payload['suite'])} suite entries to {args.output}")
+    if baseline is not None:
+        regressions = bench.compare(payload, baseline,
+                                    tolerance=args.tolerance)
+        if regressions:
+            print(f"REGRESSIONS vs {args.compare}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(tolerance {100.0 * args.tolerance:.1f}%)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Run one decomposition under the trace recorder + breakdown."""
+    from .machine.cache import CacheSimulator
+    from .observe import TraceRecorder, format_breakdown
+    graph, name = _load_graph(args)
+    config = _build_config(args)
+    tracker = CostTracker()
+    tracker.cache = CacheSimulator()
+    tracker.trace = TraceRecorder(task_limit=args.task_limit)
+    result = arb_nucleus_decomp(graph, args.r, args.s, config, tracker)
+    machine = MachineModel()
+    print(f"graph {name}: n={graph.n} m={graph.m}  "
+          f"({args.r},{args.s}) rho={result.rho} max_core={result.max_core}")
+    print(format_breakdown(machine.time_breakdown(tracker, args.threads)))
+    tracker.trace.write(args.output)
+    events = len(tracker.trace.events)
+    print(f"wrote {events} trace events to {args.output} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -243,6 +291,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", choices=dataset_names(),
                    help="named surrogate dataset (default: figure-1 graph)")
     p.set_defaults(func=_cmd_sanitize)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned perf-trajectory suite (BENCH_nucleus.json)")
+    p.add_argument("-o", "--output", default="BENCH_nucleus.json",
+                   help="output payload path (default: BENCH_nucleus.json)")
+    p.add_argument("--compare", metavar="BASELINE",
+                   help="baseline payload; exit non-zero on regressions")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="relative regression tolerance (default 0.05)")
+    p.add_argument("--threads", type=int, default=60,
+                   help="parallel thread count for the T column")
+    p.add_argument("--label", default="",
+                   help="free-form label stored in the payload")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "profile",
+        help="trace one decomposition (Chrome trace + time breakdown)")
+    p.add_argument("--input", help="SNAP-style edge list file")
+    p.add_argument("--dataset", choices=dataset_names(),
+                   help="named surrogate dataset")
+    p.add_argument("--r", type=int, required=True)
+    p.add_argument("--s", type=int, required=True)
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="Chrome trace-event JSON path (default: trace.json)")
+    p.add_argument("--threads", type=int, default=60,
+                   help="thread count for the printed breakdown")
+    p.add_argument("--task-limit", type=int, default=256,
+                   help="max task slices recorded per parallel region")
+    p.add_argument("--unoptimized", action="store_true",
+                   help="profile the Section 6.2 baseline configuration")
+    p.set_defaults(func=_cmd_profile)
     return parser
 
 

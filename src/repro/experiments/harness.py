@@ -183,7 +183,12 @@ def headline_statistics(fig12_rows: list[dict]) -> dict[str, tuple]:
     by_algo: dict[str, list[float]] = {}
     speedups: list[float] = []
     for row in fig12_rows:
-        if "slowdown" in row and row["algorithm"] not in ("ARB",):
+        # "ARB (1 thread)" is ARB's own serial run, not a competitor: its
+        # slowdown is the self-relative speedup already reported below, so
+        # it must be excluded from the competitor map exactly as it is from
+        # the best-competitor range.
+        if "slowdown" in row and row["algorithm"] not in (
+                "ARB", "ARB (1 thread)"):
             by_algo.setdefault(row["algorithm"], []).append(row["slowdown"])
         if row.get("algorithm") == "ARB" and "self_speedup" in row:
             speedups.append(row["self_speedup"])

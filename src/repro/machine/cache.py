@@ -65,12 +65,18 @@ class CacheSimulator:
     def miss_rate(self) -> float:
         return self._raw_misses / self._raw_accesses if self._raw_accesses else 0.0
 
-    def access(self, address: int) -> bool:
-        """Touch ``address``; returns True on a hit (of a sampled access)."""
+    def access(self, address: int) -> bool | None:
+        """Touch ``address``.
+
+        Returns True on a simulated hit, False on a simulated miss, and
+        ``None`` when the access was skipped by sampling (``sample > 1``).
+        Skipped accesses are *not* hits --- callers attributing misses (e.g.
+        per-phase profiling) must only act on an explicit False.
+        """
         if self.sample > 1:
             self._skip += 1
             if self._skip < self.sample:
-                return True
+                return None
             self._skip = 0
         self._raw_accesses += 1
         self._clock += 1
@@ -88,8 +94,25 @@ class CacheSimulator:
         return False
 
     def reset_counters(self) -> None:
+        """Zero the counters *and* the sampling/recency state.
+
+        Resetting must not let the sampling phase (``_skip``) or the LRU
+        clock bleed from one measured region into the next, otherwise two
+        identical access streams measured back to back disagree.  Cache
+        *contents* (the tags) survive --- only measurement state resets; the
+        recency stamps are re-zeroed with the clock so stamp comparisons
+        stay consistent.
+        """
         self._raw_accesses = 0
         self._raw_misses = 0
+        self._skip = 0
+        self._clock = 0
+        self._stamp[:] = 0
+
+    def reset(self) -> None:
+        """Full reset: counters, sampling state, and cache contents."""
+        self.reset_counters()
+        self._tags[:] = -1
 
 
 class AddressSpace:

@@ -1,0 +1,27 @@
+"""Observability for the simulated machine: tracing, breakdowns, trajectory.
+
+Three layers, all accounting-neutral (attaching them changes no counter):
+
+* :mod:`repro.observe.trace` -- a :class:`TraceRecorder` that hooks into
+  ``CostTracker.phase()`` / ``parallel()`` and exports Chrome trace-event
+  JSON viewable in ``chrome://tracing`` / Perfetto;
+* :mod:`repro.observe.breakdown` -- renderers for
+  :meth:`MachineModel.time_breakdown`, which decomposes every simulated
+  time into its five terms (work/P, span, barriers, contention, cache);
+* :mod:`repro.observe.bench` -- the pinned perf-trajectory suite behind
+  ``repro bench`` / ``tools/bench_trajectory.py`` and the committed
+  ``BENCH_nucleus.json`` baseline.
+"""
+
+from .bench import (BENCH_THREADS, PINNED_SUITE, compare, load_payload,
+                    run_entry, run_suite, write_payload)
+from .breakdown import breakdown_rows, format_breakdown
+from .trace import TraceRecorder
+
+__all__ = [
+    "TraceRecorder",
+    "breakdown_rows", "format_breakdown",
+    "PINNED_SUITE", "BENCH_THREADS",
+    "run_entry", "run_suite", "compare",
+    "load_payload", "write_payload",
+]

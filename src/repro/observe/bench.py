@@ -1,0 +1,165 @@
+"""The perf-trajectory harness: a pinned suite of tracked decompositions.
+
+Every future performance PR is judged against the numbers this module
+produces, so the suite is deliberately **pinned**: fixed surrogate
+graphs, fixed (r, s) pairs covering the paper's three headline workloads
+(k-core, k-truss, and (3,4) nucleus), the default
+:class:`~repro.parallel.runtime.MachineModel`, and an exact (unsampled)
+cache simulator.  Everything measured is deterministic, so two runs of
+the same tree produce byte-identical metrics and any drift in
+``--compare`` mode is a real accounting change.
+
+The canonical output (``BENCH_nucleus.json`` at the repo root) records,
+per suite entry, the quantities the paper's evaluation is built from ---
+work, span, rounds (rho), contention, cache misses, simulated T1/T60 and
+self-relative speedup --- plus the per-phase counters and the five-term
+:meth:`~repro.parallel.runtime.MachineModel.time_breakdown` so a
+regression can be localized, not just detected.
+
+:func:`compare` flags regressions beyond a relative tolerance; the CI
+``bench-trajectory`` job runs it against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.config import NucleusConfig
+from ..core.decomp import arb_nucleus_decomp
+from ..graph.datasets import load_dataset
+from ..machine.cache import CacheSimulator
+from ..parallel.runtime import CostTracker, MachineModel
+
+#: Schema version of the payload; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: The pinned suite: (graph, r, s).  k-core (1,2), k-truss (2,3), and
+#: (3,4) nucleus on three surrogate graphs of increasing size; youtube's
+#: (3,4) run is included to keep one mid-size high-(r,s) point.
+PINNED_SUITE: tuple[tuple[str, int, int], ...] = (
+    ("amazon", 1, 2), ("amazon", 2, 3), ("amazon", 3, 4),
+    ("dblp", 1, 2), ("dblp", 2, 3), ("dblp", 3, 4),
+    ("youtube", 1, 2), ("youtube", 2, 3), ("youtube", 3, 4),
+)
+
+#: Parallel thread count of the trajectory's T_P column (the paper's 60).
+BENCH_THREADS = 60
+
+#: Scalar metrics compared by :func:`compare`; True means lower-is-better.
+COMPARED_METRICS: dict[str, bool] = {
+    "work": True, "span": True, "rho": True, "T1": True,
+    "T60": True, "contention": True, "cache_misses": True,
+    "speedup": False,
+}
+
+_PHASE_FIELDS = ("work", "span", "rounds", "contention", "cache_misses")
+
+
+def entry_key(entry: dict) -> str:
+    return f"{entry['graph']}({entry['r']},{entry['s']})"
+
+
+def run_entry(graph_name: str, r: int, s: int,
+              machine: MachineModel | None = None,
+              threads: int = BENCH_THREADS) -> dict:
+    """Run one pinned decomposition and extract its canonical metrics."""
+    machine = machine or MachineModel()
+    graph = load_dataset(graph_name)
+    tracker = CostTracker()
+    tracker.cache = CacheSimulator()  # exact: sample=1
+    result = arb_nucleus_decomp(graph, r, s, NucleusConfig.optimal(r, s),
+                                tracker)
+    t1 = machine.time(tracker, 1)
+    tp = machine.time(tracker, threads)
+    breakdown = machine.time_breakdown(tracker, threads)
+    return {
+        "graph": graph_name, "r": r, "s": s,
+        "n_r": result.n_r_cliques, "n_s": result.n_s_cliques,
+        "rho": result.rho, "max_core": result.max_core,
+        "work": tracker.total.work,
+        "span": tracker.span,
+        "rounds": tracker.total.rounds,
+        "atomic_ops": tracker.total.atomic_ops,
+        "contention": tracker.total.contention,
+        "table_probes": tracker.total.table_probes,
+        "cache_accesses": tracker.cache.accesses,
+        "cache_misses": tracker.cache.misses,
+        "memory_units": result.table_memory_units,
+        "T1": t1, "T60": tp, "speedup": t1 / tp,
+        "phases": {
+            name: {field: getattr(stats, field) for field in _PHASE_FIELDS}
+            for name, stats in tracker.phases.items()
+        },
+        "breakdown": breakdown["total"],
+    }
+
+
+def run_suite(machine: MachineModel | None = None,
+              threads: int = BENCH_THREADS,
+              suite: tuple[tuple[str, int, int], ...] | None = None,
+              label: str = "", progress=None) -> dict:
+    """Run the pinned suite; returns the canonical JSON payload (a dict)."""
+    if suite is None:
+        suite = PINNED_SUITE  # resolved at call time (tests shrink it)
+    machine = machine or MachineModel()
+    entries = []
+    for graph_name, r, s in suite:
+        if progress is not None:
+            progress(f"bench: {graph_name} ({r},{s})")
+        entries.append(run_entry(graph_name, r, s, machine, threads))
+    from dataclasses import asdict
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": label,
+        "threads": threads,
+        "machine": asdict(machine),
+        "suite": entries,
+    }
+
+
+def write_payload(payload: dict, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_payload(path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(current: dict, baseline: dict,
+            tolerance: float = 0.05) -> list[str]:
+    """Regressions of ``current`` against ``baseline`` beyond ``tolerance``.
+
+    Returns human-readable descriptions (empty when clean).  A metric
+    regresses when it worsens by more than ``tolerance`` relative to the
+    baseline --- grows for lower-is-better metrics (work, span, rho, times,
+    contention, cache misses), shrinks for speedup.  Entries present in
+    the baseline but missing from the current run are regressions;
+    entries new in the current run are not.
+    """
+    base_by_key = {entry_key(e): e for e in baseline.get("suite", [])}
+    cur_by_key = {entry_key(e): e for e in current.get("suite", [])}
+    regressions = []
+    for key, base in base_by_key.items():
+        cur = cur_by_key.get(key)
+        if cur is None:
+            regressions.append(f"{key}: entry missing from current run")
+            continue
+        for metric, lower_is_better in COMPARED_METRICS.items():
+            if metric not in base or metric not in cur:
+                continue
+            old, new = float(base[metric]), float(cur[metric])
+            scale = abs(old) if old else 1.0
+            if lower_is_better:
+                worsened = new - old > tolerance * scale
+            else:
+                worsened = old - new > tolerance * scale
+            if worsened:
+                direction = "rose" if lower_is_better else "fell"
+                regressions.append(
+                    f"{key}: {metric} {direction} {old:.6g} -> {new:.6g} "
+                    f"({100.0 * (new - old) / scale:+.1f}%, "
+                    f"tolerance {100.0 * tolerance:.1f}%)")
+    return regressions

@@ -1,0 +1,53 @@
+"""Rendering helpers for :meth:`MachineModel.time_breakdown`.
+
+The breakdown itself lives on
+:class:`~repro.parallel.runtime.MachineModel` (it *is* the time model,
+restated term by term); this module turns it into the human-facing views
+the experiment drivers and the CLI print:
+
+* :func:`breakdown_rows` -- flat list-of-dicts (one row per phase plus a
+  total row), ready for :func:`repro.experiments.harness.format_table`;
+* :func:`format_breakdown` -- the rendered ASCII table, with each term
+  also expressed as a share of the total simulated time.
+
+Term semantics (see docs/cost-model.md for the parameter mapping):
+
+============  ==============================================================
+``work``      ``W / effective(P)`` --- Brent's work term
+``span``      ``span_factor * S`` --- the critical path
+``barrier``   ``rounds * (barrier_base + barrier_per_log_thread * log2 P)``
+``contention``  ``contention_factor * serialized_atomic_span``
+``cache``     ``miss_penalty * misses / effective(P)``
+============  ==============================================================
+"""
+
+from __future__ import annotations
+
+TERMS = ("work", "span", "barrier", "contention", "cache")
+
+
+def breakdown_rows(breakdown: dict) -> list[dict]:
+    """Flatten a ``time_breakdown`` dict into table rows (total row last)."""
+    total_time = breakdown["total"]["time"] or 1.0
+    rows = []
+    for name, terms in breakdown["phases"].items():
+        row = {"phase": name, **{t: terms[t] for t in TERMS},
+               "time": terms["time"],
+               "share": terms["time"] / total_time}
+        rows.append(row)
+    rows.sort(key=lambda row: -row["time"])
+    rows.append({"phase": "TOTAL",
+                 **{t: breakdown["total"][t] for t in TERMS},
+                 "time": breakdown["total"]["time"], "share": 1.0})
+    return rows
+
+
+def format_breakdown(breakdown: dict, title: str = "") -> str:
+    """Render a ``time_breakdown`` dict as a paper-style ASCII table."""
+    from ..experiments.harness import format_table
+    rows = breakdown_rows(breakdown)
+    for row in rows:
+        row["share"] = f"{100.0 * row['share']:.1f}%"
+    header = title or (f"simulated time breakdown at "
+                       f"{breakdown['threads']} thread(s)")
+    return format_table(rows, ["phase", *TERMS, "time", "share"], header)

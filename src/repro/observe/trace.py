@@ -1,0 +1,172 @@
+"""Accounting-neutral execution tracing for the simulated machine.
+
+A :class:`TraceRecorder` attaches to a
+:class:`~repro.parallel.runtime.CostTracker` exactly like the race
+detector does (``tracker.trace = TraceRecorder()``): phases, parallel
+regions, and tasks report their begin/end to it, and the recorder never
+charges any counter --- it only *reads* them.  The result exports as
+Chrome trace-event JSON (the ``traceEvents`` format) and loads directly
+in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+There is no wall clock on the simulated machine, so the timeline's time
+axis is the tracker's accumulated **work** (one "microsecond" per work
+unit): a phase that spans 40% of the horizontal axis performed 40% of the
+run's operations.  Each slice carries the deltas of every other counter
+(span, rounds, contention, cache misses) in its ``args`` so hovering a
+slice in Perfetto shows *why* it is wide.
+
+Track layout:
+
+* ``tid 0`` ("phases") -- one slice per ``tracker.phase(...)`` block,
+  nested when phases nest;
+* ``tid 1`` ("parallel regions") -- one slice per ``tracker.parallel(n)``
+  region, with the task count and closing max task span;
+* ``tid 2..`` ("lane k") -- individual tasks, round-robined over a small
+  number of display lanes.  Task slices have zero width whenever a task
+  charges no work, and peeling rounds can have millions of tasks, so task
+  recording stops (per region) after :attr:`task_limit` tasks --- the
+  region slice still records the true task count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Counters snapshotted at begin/end of every slice; deltas go to ``args``.
+_COUNTERS = ("work", "span", "rounds", "contention", "atomic_ops",
+             "table_probes", "cache_misses")
+
+_PID = 1
+_PHASE_TID = 0
+_REGION_TID = 1
+_FIRST_LANE_TID = 2
+
+
+def _snapshot(tracker) -> dict[str, float]:
+    total = tracker.total
+    return {name: getattr(total, name) for name in _COUNTERS}
+
+
+@dataclass
+class _Open:
+    """One open (begun, not yet ended) slice."""
+
+    name: str
+    tid: int
+    ts: float
+    begin: dict[str, float] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Records phase/region/task lifetimes as Chrome trace events.
+
+    Parameters
+    ----------
+    task_limit:
+        Maximum number of task slices recorded per parallel region (the
+        region slice itself is always recorded).  ``0`` disables task
+        slices entirely.
+    lanes:
+        Number of display lanes tasks are round-robined across, imitating
+        worker threads of a real execution.
+    """
+
+    def __init__(self, task_limit: int = 256, lanes: int = 8):
+        self.task_limit = max(0, task_limit)
+        self.lanes = max(1, lanes)
+        self.events: list[dict] = []
+        self.dropped_tasks = 0
+        self._phase_stack: list[_Open] = []
+        self._region_stack: list[_Open] = []
+        self._task_stack: list[_Open | None] = []
+        self._region_task_counts: list[int] = []
+
+    # -- hooks called by CostTracker (accounting-neutral) -------------------
+
+    def begin_phase(self, tracker, name: str) -> None:
+        self._phase_stack.append(
+            _Open(name, _PHASE_TID, tracker.total.work, _snapshot(tracker)))
+
+    def end_phase(self, tracker, name: str) -> None:
+        self._close(self._phase_stack.pop(), tracker, category="phase")
+
+    def begin_region(self, tracker, n_tasks: int) -> None:
+        self._region_stack.append(
+            _Open(f"parallel[{n_tasks}]", _REGION_TID, tracker.total.work,
+                  _snapshot(tracker)))
+        self._region_task_counts.append(0)
+
+    def end_region(self, tracker, max_task_span: float) -> None:
+        self._region_task_counts.pop()
+        self._close(self._region_stack.pop(), tracker, category="region",
+                    extra={"max_task_span": max_task_span})
+
+    def begin_task(self, tracker, task_index: int) -> None:
+        if not self._region_task_counts:  # defensive: task outside a region
+            self._task_stack.append(None)
+            return
+        self._region_task_counts[-1] += 1
+        if self._region_task_counts[-1] > self.task_limit:
+            self.dropped_tasks += 1
+            self._task_stack.append(None)
+            return
+        tid = _FIRST_LANE_TID + task_index % self.lanes
+        self._task_stack.append(
+            _Open(f"task {task_index}", tid, tracker.total.work,
+                  _snapshot(tracker)))
+
+    def end_task(self, tracker, task_index: int) -> None:
+        opened = self._task_stack.pop()
+        if opened is not None:
+            self._close(opened, tracker, category="task")
+
+    # -- event assembly -----------------------------------------------------
+
+    def _close(self, opened: _Open, tracker, category: str,
+               extra: dict | None = None) -> None:
+        now = _snapshot(tracker)
+        args = {name: now[name] - opened.begin.get(name, 0.0)
+                for name in _COUNTERS}
+        if extra:
+            args.update(extra)
+        self.events.append({
+            "name": opened.name,
+            "cat": category,
+            "ph": "X",  # complete event: begin timestamp + duration
+            "ts": opened.ts,
+            "dur": max(0.0, tracker.total.work - opened.ts),
+            "pid": _PID,
+            "tid": opened.tid,
+            "args": args,
+        })
+
+    def _metadata(self) -> list[dict]:
+        def meta(name, tid, label):
+            return {"name": name, "ph": "M", "pid": _PID, "tid": tid,
+                    "args": {"name": label}}
+        lanes = [meta("thread_name", _FIRST_LANE_TID + k, f"lane {k}")
+                 for k in range(self.lanes)]
+        return [
+            {"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+             "args": {"name": "simulated machine (time axis = work units)"}},
+            meta("thread_name", _PHASE_TID, "phases"),
+            meta("thread_name", _REGION_TID, "parallel regions"),
+            *lanes,
+        ]
+
+    def to_chrome_trace(self) -> dict:
+        """The complete ``traceEvents`` JSON object (Perfetto-loadable)."""
+        return {
+            "traceEvents": self._metadata() + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated work units (1 unit = 1 us displayed)",
+                "dropped_task_slices": self.dropped_tasks,
+            },
+        }
+
+    def write(self, path) -> None:
+        """Serialize the trace to ``path`` as Chrome trace-event JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)

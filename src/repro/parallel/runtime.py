@@ -60,7 +60,7 @@ class _ParallelRegion:
     """Accounting context for one parallel-for; see :meth:`CostTracker.parallel`."""
 
     __slots__ = ("_tracker", "_n", "_max_task_span", "_detector",
-                 "_region_id", "_task_counter")
+                 "_region_id", "_task_counter", "_trace")
 
     def __init__(self, tracker: "CostTracker", n_tasks: int) -> None:
         self._tracker = tracker
@@ -72,6 +72,10 @@ class _ParallelRegion:
         self._region_id = (self._detector.begin_region()
                            if self._detector is not None else 0)
         self._task_counter = 0
+        # Optional trace recorder (repro.observe): same opt-in pattern.
+        self._trace = tracker.trace
+        if self._trace is not None:
+            self._trace.begin_region(tracker, self._n)
 
     @contextmanager
     def task(self):
@@ -79,12 +83,17 @@ class _ParallelRegion:
         frame = _Frame()
         self._tracker._frames.append(frame)
         detector = self._detector
+        task_index = self._task_counter
+        self._task_counter += 1
         if detector is not None:
-            detector.begin_task(self._region_id, self._task_counter)
-            self._task_counter += 1
+            detector.begin_task(self._region_id, task_index)
+        if self._trace is not None:
+            self._trace.begin_task(self._tracker, task_index)
         try:
             yield frame
         finally:
+            if self._trace is not None:
+                self._trace.end_task(self._tracker, task_index)
             if detector is not None:
                 detector.end_task()
             self._tracker._frames.pop()
@@ -100,6 +109,8 @@ class _ParallelRegion:
         self._tracker.add_span(self._max_task_span + _log2(self._n))
         if self._detector is not None:
             self._detector.end_region()
+        if self._trace is not None:
+            self._trace.end_region(self._tracker, self._max_task_span)
 
 
 @dataclass
@@ -113,6 +124,9 @@ class PhaseStats:
     contention: float = 0.0
     cliques_enumerated: int = 0
     table_probes: int = 0
+    #: Cache misses attributed to this phase (scaled by the simulator's
+    #: sampling rate, like the simulator's own counters).
+    cache_misses: int = 0
 
     def merge(self, other: "PhaseStats") -> None:
         self.work += other.work
@@ -122,6 +136,7 @@ class PhaseStats:
         self.contention += other.contention
         self.cliques_enumerated += other.cliques_enumerated
         self.table_probes += other.table_probes
+        self.cache_misses += other.cache_misses
 
 
 class CostTracker:
@@ -145,6 +160,10 @@ class CostTracker:
       :class:`repro.sanitize.racecheck.RaceDetector`; when attached,
       parallel regions report task lifetimes to it and instrumented
       structures shadow-log their accesses (accounting is unchanged).
+    * ``trace`` -- optional :class:`repro.observe.trace.TraceRecorder`;
+      when attached, phases, parallel regions, and tasks report their
+      begin/end to it so a Chrome-trace timeline can be exported
+      (accounting is unchanged).
     """
 
     def __init__(self) -> None:
@@ -152,6 +171,7 @@ class CostTracker:
         self.phases: dict[str, PhaseStats] = {}
         self.cache = None  # optional CacheSimulator
         self.race_detector = None  # optional sanitize.RaceDetector
+        self.trace = None  # optional observe.TraceRecorder
         self.peak_memory_units = 0
         self._frames: list[_Frame] = [_Frame()]
         self._phase_stack: list[str] = []
@@ -169,11 +189,15 @@ class CostTracker:
         Inside a parallel task, the charge lands on the task's frame and
         combines with sibling tasks by *max* when the region closes; the
         authoritative critical-path length is the root frame's
-        (:attr:`span`).  Per-phase span tallies are flat sums kept for
-        profiling only.
+        (:attr:`span`).  Phase tallies follow the same rule: only charges
+        that reach the root frame --- serial segments and the
+        ``max + log2(k)`` a closing region contributes --- are attributed
+        to the current phase, so per-phase spans are critical-path
+        fragments that sum to :attr:`span` (not flat per-task sums, which
+        would overstate span-heavy phases by the task count).
         """
         self._frames[-1].span += amount
-        if self._phase_stack:
+        if self._phase_stack and len(self._frames) == 1:
             self.phases[self._phase_stack[-1]].span += amount
 
     def add_round(self, count: int = 1) -> None:
@@ -208,9 +232,19 @@ class CostTracker:
             self.peak_memory_units = units
 
     def access(self, address: int) -> None:
-        """Feed one memory access to the attached cache simulator, if any."""
+        """Feed one memory access to the attached cache simulator, if any.
+
+        Sampled misses are attributed to the current phase (scaled by the
+        simulator's sampling rate, matching its global counters) so
+        :meth:`MachineModel.time_breakdown` can localize cache pressure.
+        """
         if self.cache is not None:
-            self.cache.access(address)
+            hit = self.cache.access(address)
+            if hit is False:
+                self.total.cache_misses += self.cache.sample
+                if self._phase_stack:
+                    self.phases[self._phase_stack[-1]].cache_misses += \
+                        self.cache.sample
 
     # -- structure --------------------------------------------------------
 
@@ -220,9 +254,13 @@ class CostTracker:
         if name not in self.phases:
             self.phases[name] = PhaseStats()
         self._phase_stack.append(name)
+        if self.trace is not None:
+            self.trace.begin_phase(self, name)
         try:
             yield
         finally:
+            if self.trace is not None:
+                self.trace.end_phase(self, name)
             self._phase_stack.pop()
 
     @contextmanager
@@ -305,19 +343,75 @@ class MachineModel:
             return float(threads)
         return self.cores + self.ht_yield * (threads - self.cores)
 
+    def barrier_cost(self, threads: int) -> float:
+        """Cost of one global round barrier at ``threads`` threads."""
+        return self.barrier_base + self.barrier_per_log_thread * _log2(threads)
+
+    def _terms(self, work: float, span: float, rounds: int,
+               contention: float, cache_misses: int,
+               threads: int) -> dict[str, float]:
+        """The five additive components of the time estimate.
+
+        ``time()`` is by construction the exact sum of these terms; the
+        per-phase rows of :meth:`time_breakdown` reuse the same formula on
+        :class:`PhaseStats` counters.
+        """
+        p = self.effective_parallelism(threads)
+        parallel = threads > 1  # barriers/collisions only hurt parallel runs
+        return {
+            "work": work / p,
+            "span": self.span_factor * span,
+            "barrier": rounds * self.barrier_cost(threads) if parallel
+            else 0.0,
+            "contention": self.contention_factor * contention if parallel
+            else 0.0,
+            "cache": self.miss_penalty * cache_misses / p,
+        }
+
     def time(self, tracker: CostTracker, threads: int = 1) -> float:
         """Simulated running time of a tracked run on ``threads`` threads."""
-        p = self.effective_parallelism(threads)
-        work = tracker.total.work
-        if tracker.cache is not None:
-            work += self.miss_penalty * tracker.cache.misses
-        barrier = self.barrier_base + self.barrier_per_log_thread * _log2(threads)
-        serial_terms = self.span_factor * tracker.span
-        if threads > 1:
-            # Barriers and atomic collisions only hurt parallel executions.
-            serial_terms += tracker.total.rounds * barrier
-            serial_terms += self.contention_factor * tracker.total.contention
-        return work / p + serial_terms
+        misses = tracker.cache.misses if tracker.cache is not None else 0
+        terms = self._terms(tracker.total.work, tracker.span,
+                            tracker.total.rounds, tracker.total.contention,
+                            misses, threads)
+        return (terms["work"] + terms["span"] + terms["barrier"]
+                + terms["contention"] + terms["cache"])
+
+    def time_breakdown(self, tracker: CostTracker,
+                       threads: int = 1) -> dict:
+        """Decompose :meth:`time` into its five terms, per phase and total.
+
+        Returns a dict with keys:
+
+        * ``"threads"`` / ``"effective_parallelism"``;
+        * ``"total"`` -- the five terms (``work``, ``span``, ``barrier``,
+          ``contention``, ``cache``) plus their exact sum ``time``, equal to
+          :meth:`time` for the same tracker and thread count;
+        * ``"phases"`` -- the same five terms evaluated on each
+          :class:`PhaseStats`.  Phase counters (including span, see
+          :meth:`CostTracker.add_span`) partition the totals, so phase
+          ``time`` entries sum to the total up to float error and any
+          charges recorded outside all phases.
+        """
+        misses = tracker.cache.misses if tracker.cache is not None else 0
+        total = self._terms(tracker.total.work, tracker.span,
+                            tracker.total.rounds, tracker.total.contention,
+                            misses, threads)
+        total["time"] = (total["work"] + total["span"] + total["barrier"]
+                         + total["contention"] + total["cache"])
+        phases = {}
+        for name, stats in tracker.phases.items():
+            terms = self._terms(stats.work, stats.span, stats.rounds,
+                                stats.contention, stats.cache_misses, threads)
+            terms["time"] = (terms["work"] + terms["span"] + terms["barrier"]
+                             + terms["contention"] + terms["cache"])
+            phases[name] = terms
+        return {
+            "threads": threads,
+            "effective_parallelism": self.effective_parallelism(threads),
+            "total": total,
+            "phases": phases,
+        }
 
     def speedup(self, tracker: CostTracker, threads: int) -> float:
         """Self-relative speedup ``T(1)/T(threads)`` for one tracked run."""

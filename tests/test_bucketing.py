@@ -108,6 +108,40 @@ class TestJulienneSpecifics:
         value, ids = b.next_bucket()
         assert value == 2 and list(ids) == [1]
 
+    def test_update_below_window_base_raises(self):
+        # Regression: a clamped value below the materialized window's base
+        # used to index self._buckets with a *negative* offset, silently
+        # appending to a top-of-window bucket and corrupting extraction
+        # order.  The monotone peeling protocol cannot produce this state,
+        # so it must fail loudly instead of mis-bucketing.
+        b = JulienneBucketing([0, 1], [50, 60], window=4)  # base = 50
+        assert b.base == 50
+        with pytest.raises(ValueError, match="below the current window"):
+            b.update([1], [10])
+        # The structure was not corrupted: id 1 still drains at its
+        # original value and nothing landed in a wrong bucket.
+        value, ids = b.next_bucket()
+        assert value == 50 and list(ids) == [0]
+        value, ids = b.next_bucket()
+        assert value == 60 and list(ids) == [1]
+
+    def test_clamp_vs_refill_interaction(self):
+        # After a refill jumps the window past a gap, updates clamped to
+        # the pre-refill peel level must stay inside the new window: the
+        # clamp floor (peel_floor) is raised to each extracted value, which
+        # is always >= the refilled base.
+        b = JulienneBucketing([0, 1, 2], [2, 100, 101], window=4)
+        value, ids = b.next_bucket()           # peel_floor = 2
+        assert value == 2 and list(ids) == [0]
+        value, ids = b.next_bucket()           # refilled: base = 100
+        assert value == 100 and list(ids) == [1]
+        assert b.base == 100
+        assert b.peel_floor == 100
+        b.update([2], [5])  # decreases far below base; clamps to 100
+        value, ids = b.next_bucket()
+        assert value == 100 and list(ids) == [2]
+        assert b.value_of(2) == 100
+
 
 class TestDenseSpecifics:
     def test_doubling_search_charges_work(self):

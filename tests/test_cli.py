@@ -124,6 +124,57 @@ class TestSanitize:
             assert f"{label:<10} ok" in out
 
 
+class TestProfile:
+    def test_writes_trace_and_breakdown(self, graph_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["profile", "--input", graph_file, "--r", "2",
+                     "--s", "3", "-o", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out  # the breakdown table
+        assert "trace events" in out
+        import json
+        loaded = json.loads(trace.read_text())
+        assert loaded["traceEvents"]
+        assert all(e.get("dur", 0) >= 0 for e in loaded["traceEvents"]
+                   if e["ph"] == "X")
+
+
+class TestBench:
+    def test_writes_payload(self, tmp_path, capsys, monkeypatch):
+        # Shrink the pinned suite so the CLI test stays fast.
+        from repro.observe import bench as bench_mod
+        monkeypatch.setattr(bench_mod, "PINNED_SUITE",
+                            (("amazon", 1, 2),))
+        out_path = tmp_path / "BENCH.json"
+        assert main(["bench", "-o", str(out_path)]) == 0
+        import json
+        payload = json.loads(out_path.read_text())
+        assert len(payload["suite"]) == 1
+        assert payload["suite"][0]["graph"] == "amazon"
+
+    def test_compare_gates_on_regression(self, tmp_path, capsys,
+                                         monkeypatch):
+        from repro.observe import bench as bench_mod
+        monkeypatch.setattr(bench_mod, "PINNED_SUITE",
+                            (("amazon", 1, 2),))
+        baseline = tmp_path / "BASE.json"
+        assert main(["bench", "-o", str(baseline)]) == 0
+        # Clean against itself.
+        out_path = tmp_path / "CUR.json"
+        assert main(["bench", "-o", str(out_path),
+                     "--compare", str(baseline)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        # Inject a regression into the baseline (pretend it used to be
+        # faster) and the gate must fail.
+        import json
+        doctored = json.loads(baseline.read_text())
+        doctored["suite"][0]["T60"] *= 0.5
+        baseline.write_text(json.dumps(doctored))
+        assert main(["bench", "-o", str(out_path),
+                     "--compare", str(baseline)]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+
 def test_parser_subcommands():
     parser = build_parser()
     args = parser.parse_args(["decompose", "--dataset", "dblp",

@@ -106,3 +106,28 @@ class TestHeadlineStatistics:
     def test_empty(self):
         from repro.experiments.harness import headline_statistics
         assert headline_statistics([]) == {}
+
+    def test_arb_serial_row_is_not_a_competitor(self):
+        # Regression: the "ARB (1 thread)" row (ARB's own serial run,
+        # whose slowdown *is* the self-relative speedup) was excluded from
+        # the best-competitor range but still reported in the per-algorithm
+        # slowdown map as if it were a competitor.
+        from repro.experiments.harness import headline_statistics
+        rows = [
+            {"graph": "g1", "rs": "(2,3)", "algorithm": "ARB",
+             "slowdown": 1.0, "self_speedup": 25.0},
+            {"graph": "g1", "rs": "(2,3)", "algorithm": "ARB (1 thread)",
+             "slowdown": 25.0},
+            {"graph": "g1", "rs": "(2,3)", "algorithm": "ND",
+             "slowdown": 8.0},
+            {"graph": "g1", "rs": "(2,3)", "algorithm": "AND",
+             "slowdown": 3.0},
+        ]
+        stats = headline_statistics(rows)
+        assert "ARB (1 thread)" not in stats
+        assert "ARB" not in stats
+        assert stats["ND"] == (8.0, 8.0)
+        assert stats["AND"] == (3.0, 3.0)
+        assert stats["ARB self-relative"] == (25.0, 25.0)
+        # The serial ARB row (25.0) must not win or widen either range.
+        assert stats["best competitor"] == (3.0, 3.0)

@@ -1,0 +1,100 @@
+"""Per-phase accounting invariants across configurations.
+
+These pin the contracts the profiling layer (repro.observe) depends on:
+phase counters partition the totals, the root frame holds the critical
+path, the round log matches rho, and the five-term time breakdown is an
+exact decomposition of ``MachineModel.time`` --- for every aggregator,
+every bucketing backend, serial and parallel thread counts.
+"""
+
+import pytest
+
+from repro.core.config import NucleusConfig
+from repro.core.decomp import arb_nucleus_decomp
+from repro.graph.generators import figure1_graph
+from repro.machine.cache import CacheSimulator
+from repro.parallel.runtime import CostTracker, MachineModel
+
+AGGREGATORS = ["array", "list_buffer", "hash"]
+BUCKETINGS = ["julienne", "fibonacci", "dense"]
+RS_PAIRS = [(1, 2), (2, 3), (3, 4)]
+
+
+def _run(r, s, aggregation, bucketing, with_cache=False):
+    from dataclasses import replace
+    config = replace(NucleusConfig.optimal(r, s), aggregation=aggregation,
+                     bucketing=bucketing)
+    tracker = CostTracker()
+    if with_cache:
+        tracker.cache = CacheSimulator()
+    result = arb_nucleus_decomp(figure1_graph(), r, s, config, tracker)
+    return tracker, result
+
+
+@pytest.mark.parametrize("aggregation", AGGREGATORS)
+@pytest.mark.parametrize("bucketing", BUCKETINGS)
+@pytest.mark.parametrize("r,s", RS_PAIRS)
+class TestPhasePartition:
+    def test_phase_work_sums_to_total(self, r, s, aggregation, bucketing):
+        tracker, _ = _run(r, s, aggregation, bucketing)
+        phase_work = sum(p.work for p in tracker.phases.values())
+        assert phase_work == pytest.approx(tracker.total.work)
+        assert tracker.total.work > 0
+
+    def test_root_frame_span_is_tracker_span(self, r, s, aggregation,
+                                             bucketing):
+        tracker, _ = _run(r, s, aggregation, bucketing)
+        assert tracker.span == tracker._frames[0].span
+        assert len(tracker._frames) == 1  # all task frames popped
+        phase_span = sum(p.span for p in tracker.phases.values())
+        assert phase_span == pytest.approx(tracker.span)
+
+    def test_round_log_matches_rho(self, r, s, aggregation, bucketing):
+        tracker, result = _run(r, s, aggregation, bucketing)
+        assert len(result.round_log) == result.rho
+        assert tracker.phases["peel"].rounds == result.rho
+        peeled = sum(entry[1] for entry in result.round_log)
+        assert peeled == result.n_r_cliques
+
+    def test_phase_rounds_sum_to_total(self, r, s, aggregation, bucketing):
+        tracker, _ = _run(r, s, aggregation, bucketing)
+        phase_rounds = sum(p.rounds for p in tracker.phases.values())
+        assert phase_rounds == tracker.total.rounds
+
+    def test_phase_contention_sums_to_total(self, r, s, aggregation,
+                                            bucketing):
+        tracker, _ = _run(r, s, aggregation, bucketing)
+        phase_contention = sum(p.contention
+                               for p in tracker.phases.values())
+        assert phase_contention == pytest.approx(tracker.total.contention)
+
+
+@pytest.mark.parametrize("aggregation", AGGREGATORS)
+@pytest.mark.parametrize("bucketing", BUCKETINGS)
+@pytest.mark.parametrize("threads", [1, 2, 30, 60])
+class TestBreakdownExactness:
+    def test_terms_sum_to_time(self, aggregation, bucketing, threads):
+        tracker, _ = _run(2, 3, aggregation, bucketing, with_cache=True)
+        machine = MachineModel()
+        breakdown = machine.time_breakdown(tracker, threads)
+        total = breakdown["total"]
+        terms_sum = (total["work"] + total["span"] + total["barrier"]
+                     + total["contention"] + total["cache"])
+        assert total["time"] == terms_sum  # exact by construction
+        assert machine.time(tracker, threads) == pytest.approx(
+            terms_sum, rel=1e-12)
+
+    def test_serial_run_has_no_parallel_terms(self, aggregation, bucketing,
+                                              threads):
+        if threads != 1:
+            pytest.skip("serial-only invariant")
+        tracker, _ = _run(2, 3, aggregation, bucketing, with_cache=True)
+        total = MachineModel().time_breakdown(tracker, 1)["total"]
+        assert total["barrier"] == 0.0
+        assert total["contention"] == 0.0
+
+    def test_phase_rows_sum_to_total(self, aggregation, bucketing, threads):
+        tracker, _ = _run(2, 3, aggregation, bucketing, with_cache=True)
+        breakdown = MachineModel().time_breakdown(tracker, threads)
+        phase_time = sum(p["time"] for p in breakdown["phases"].values())
+        assert phase_time == pytest.approx(breakdown["total"]["time"])

@@ -155,3 +155,87 @@ class TestMachineModel:
         for addr in range(0, 10000, 64):
             t.access(addr)
         assert m.time(t, 1) > base
+
+
+class TestTimeBreakdown:
+    def _tracker(self):
+        t = CostTracker()
+        with t.phase("a"):
+            t.add_work(50000)
+            t.add_span(80)
+            t.add_round(7)
+            t.add_contention(11)
+        with t.phase("b"):
+            t.add_work(10000)
+            t.add_span(20)
+            t.add_round(3)
+        return t
+
+    @pytest.mark.parametrize("threads", [1, 2, 30, 60])
+    def test_terms_sum_to_time(self, threads):
+        m = MachineModel()
+        t = self._tracker()
+        bd = m.time_breakdown(t, threads)
+        total = bd["total"]
+        assert total["time"] == (total["work"] + total["span"]
+                                 + total["barrier"] + total["contention"]
+                                 + total["cache"])
+        assert total["time"] == pytest.approx(m.time(t, threads), rel=1e-12)
+
+    def test_serial_has_no_barrier_or_contention(self):
+        bd = MachineModel().time_breakdown(self._tracker(), 1)
+        assert bd["total"]["barrier"] == 0.0
+        assert bd["total"]["contention"] == 0.0
+
+    def test_phase_terms_partition_total(self):
+        bd = MachineModel().time_breakdown(self._tracker(), 60)
+        for term in ("work", "span", "barrier", "contention", "cache"):
+            assert sum(p[term] for p in bd["phases"].values()) == \
+                pytest.approx(bd["total"][term])
+
+    def test_barrier_term_counts_rounds(self):
+        m = MachineModel()
+        t = self._tracker()
+        bd = m.time_breakdown(t, 60)
+        assert bd["total"]["barrier"] == pytest.approx(
+            10 * m.barrier_cost(60))
+        assert bd["phases"]["a"]["barrier"] == pytest.approx(
+            7 * m.barrier_cost(60))
+
+    def test_cache_term_scales_with_misses(self):
+        from repro.machine.cache import CacheSimulator
+        m = MachineModel()
+        t = CostTracker()
+        t.cache = CacheSimulator(n_sets=4, ways=1)
+        with t.phase("hot"):
+            for addr in range(0, 10000, 64):
+                t.access(addr)
+        bd = m.time_breakdown(t, 1)
+        assert bd["total"]["cache"] == pytest.approx(
+            m.miss_penalty * t.cache.misses)
+        assert bd["phases"]["hot"]["cache"] == bd["total"]["cache"]
+
+    def test_effective_parallelism_reported(self):
+        bd = MachineModel().time_breakdown(self._tracker(), 60)
+        assert bd["threads"] == 60
+        assert bd["effective_parallelism"] == pytest.approx(30 + 0.35 * 30)
+
+
+class TestPhaseSpanAttribution:
+    def test_task_spans_attribute_by_max_not_sum(self):
+        t = CostTracker()
+        with t.phase("p"):
+            with t.parallel(4) as region:
+                for _ in range(4):
+                    with region.task():
+                        t.add_span(10)
+        # Phase span is the critical-path fragment (max + log2(4)), not
+        # the 40-unit flat sum over tasks.
+        assert t.phases["p"].span == pytest.approx(10 + 2)
+        assert t.span == pytest.approx(10 + 2)
+
+    def test_serial_span_still_attributed(self):
+        t = CostTracker()
+        with t.phase("p"):
+            t.add_span(5)
+        assert t.phases["p"].span == 5

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Run the pinned perf-trajectory suite and maintain BENCH_nucleus.json.
+
+Usage (from the repo root)::
+
+    python tools/bench_trajectory.py                      # write baseline
+    python tools/bench_trajectory.py --compare BENCH_nucleus.json \
+        --output BENCH_current.json                       # gate a change
+    python tools/bench_trajectory.py --label "$(git rev-parse --short HEAD)"
+
+Exit status is non-zero when ``--compare`` detects a regression beyond
+``--tolerance``, so the script doubles as the CI gate.  See
+docs/profiling.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.observe import bench  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_nucleus.json",
+                        help="where to write the canonical metrics "
+                             "(default: BENCH_nucleus.json)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline payload to diff against; exits "
+                             "non-zero on regressions")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative regression tolerance (default 0.05)")
+    parser.add_argument("--threads", type=int, default=bench.BENCH_THREADS,
+                        help="parallel thread count for the T column")
+    parser.add_argument("--label", default="",
+                        help="free-form label stored in the payload "
+                             "(e.g. a git revision)")
+    args = parser.parse_args(argv)
+
+    # Load the baseline up front: --output may name the same file.
+    baseline = bench.load_payload(args.compare) if args.compare else None
+
+    payload = bench.run_suite(threads=args.threads, label=args.label,
+                              progress=lambda msg: print(msg, flush=True))
+    bench.write_payload(payload, args.output)
+    print(f"wrote {len(payload['suite'])} suite entries to {args.output}")
+
+    if baseline is not None:
+        regressions = bench.compare(payload, baseline,
+                                    tolerance=args.tolerance)
+        if regressions:
+            print(f"REGRESSIONS vs {args.compare}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(tolerance {100.0 * args.tolerance:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
