@@ -40,6 +40,7 @@ class JulienneBucketing:
             self._pos = {int(i): k for k, i in enumerate(self.ids)}
         else:
             self._pos = {}
+        self._pos_arr: np.ndarray | None = None
         self.values = np.asarray(values, dtype=np.int64).copy()
         if self.values.size != self.ids.size:
             raise ValueError("ids and values must have equal length")
@@ -122,12 +123,67 @@ class JulienneBucketing:
         Values are clamped below at the current peel level (an r-clique
         whose count falls beneath the bucket being peeled belongs to that
         bucket: its core number cannot drop below the peel level).
+
+        Distinct in-range ids take a vectorized fast path; bucket-append
+        order, value clamping, and error behavior are identical to the
+        per-id loop, which remains the fallback (and the oracle for the
+        partial-mutation semantics of mid-batch errors).
         """
         ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
         new_values = np.atleast_1d(np.asarray(new_values, dtype=np.int64))
         self._charge(float(ids.size))
         if self.tracker is not None:
             self.tracker.add_span(_log2(max(1, ids.size)))
+        if ids.size > 1 and self._update_fast(ids, new_values):
+            return
+        self._update_slow(ids, new_values)
+
+    def _pos_array(self) -> np.ndarray | None:
+        """Dense id -> position map (lazy; None when ids are too sparse)."""
+        if self._pos_arr is None:
+            if self.ids.size == 0:
+                return None
+            top = int(self.ids.max()) + 1
+            if top > 4 * self.ids.size + 1024:
+                return None  # dict stays cheaper for very sparse id spaces
+            arr = np.full(top, -1, dtype=np.int64)
+            arr[self.ids] = np.arange(self.ids.size, dtype=np.int64)
+            self._pos_arr = arr
+        return self._pos_arr
+
+    def _update_fast(self, ids: np.ndarray, new_values: np.ndarray) -> bool:
+        """Apply a batch update without the per-id loop; returns False when
+        the batch needs the loop's semantics (unknown/duplicate ids, or a
+        below-window value whose partial-mutation error the loop owns)."""
+        arr = self._pos_array()
+        if arr is None or int(ids.min()) < 0 or int(ids.max()) >= arr.size:
+            return False
+        positions = arr[ids]
+        if (positions < 0).any():
+            return False
+        if np.unique(ids).size != ids.size:
+            return False
+        live = self.alive[positions]
+        values = np.maximum(new_values, self.peel_floor)
+        offsets = values - self.base
+        if (offsets[live] < 0).any():
+            return False
+        self.values[positions[live]] = values[live]
+        in_window = live & (offsets < self.window)
+        targets = offsets[in_window]
+        moved = positions[in_window]
+        order = np.argsort(targets, kind="stable")  # keeps per-bucket order
+        targets = targets[order]
+        moved = moved[order]
+        starts = np.flatnonzero(
+            np.r_[True, targets[1:] != targets[:-1]]) if targets.size else []
+        for g, start in enumerate(starts):
+            end = starts[g + 1] if g + 1 < len(starts) else targets.size
+            self._buckets[int(targets[start])].extend(
+                moved[start:end].tolist())
+        return True
+
+    def _update_slow(self, ids: np.ndarray, new_values: np.ndarray) -> None:
         for ident, value in zip(ids, new_values):
             k = self._pos[int(ident)]
             if not self.alive[k]:

@@ -50,7 +50,8 @@ def _build_config(args) -> NucleusConfig:
     else:
         config = NucleusConfig.optimal(args.r, args.s)
     overrides = {}
-    for field in ("levels", "aggregation", "bucketing", "orientation"):
+    for field in ("levels", "aggregation", "bucketing", "orientation",
+                  "engine"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -188,7 +189,8 @@ def _cmd_bench(args) -> int:
     # Load the baseline up front: --output may name the same file.
     baseline = bench.load_payload(args.compare) if args.compare else None
     payload = bench.run_suite(threads=args.threads, label=args.label,
-                              progress=lambda msg: print(msg, flush=True))
+                              progress=lambda msg: print(msg, flush=True),
+                              engine=args.engine)
     bench.write_payload(payload, args.output)
     print(f"wrote {len(payload['suite'])} suite entries to {args.output}")
     if baseline is not None:
@@ -256,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["degeneracy", "goodrich_pszona",
                             "barenboim_elkin", "degree"],
                    help="O(alpha)-orientation algorithm")
+    p.add_argument("--engine", choices=["scalar", "batch"],
+                   help="peeling implementation (batch: vectorized, "
+                        "identical simulated costs)")
     p.add_argument("--no-relabel", action="store_true",
                    help="disable orientation-order relabeling")
     p.set_defaults(func=_cmd_decompose)
@@ -303,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative regression tolerance (default 0.05)")
     p.add_argument("--threads", type=int, default=60,
                    help="parallel thread count for the T column")
+    p.add_argument("--engine", choices=["scalar", "batch"],
+                   default="scalar",
+                   help="peeling implementation for the whole suite")
     p.add_argument("--label", default="",
                    help="free-form label stored in the payload")
     p.set_defaults(func=_cmd_bench)

@@ -13,6 +13,8 @@ paper's observation that one-level tables are infeasible for large ``r``.
 
 from __future__ import annotations
 
+import numpy as np
+
 MAX_KEY_BITS = 63
 
 
@@ -43,6 +45,32 @@ class CliqueEncoder:
             out.append(key & mask)
             key >>= self.bits_per_vertex
         return tuple(reversed(out))
+
+    def encode_many(self, vertices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`encode` over rows of an ``(m, width)`` array.
+
+        Returns a ``uint64`` key per row; numeric key order equals
+        lexicographic clique order, exactly as for :meth:`encode`.
+        """
+        cols = np.asarray(vertices, dtype=np.uint64)
+        if cols.ndim != 2 or cols.shape[1] != self.width:
+            raise ValueError(f"expected (m, {self.width}) vertex rows")
+        bits = np.uint64(self.bits_per_vertex)
+        keys = np.zeros(cols.shape[0], dtype=np.uint64)
+        for c in range(self.width):
+            keys = (keys << bits) | cols[:, c]
+        return keys
+
+    def decode_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decode`: ``(m,)`` keys -> ``(m, width)`` int64."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        bits = np.uint64(self.bits_per_vertex)
+        mask = np.uint64((1 << self.bits_per_vertex) - 1)
+        out = np.empty((keys.size, self.width), dtype=np.int64)
+        for c in range(self.width - 1, -1, -1):
+            out[:, c] = (keys & mask).astype(np.int64)
+            keys = keys >> bits
+        return out
 
 
 class KeyWidthError(ValueError):

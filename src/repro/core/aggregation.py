@@ -66,8 +66,29 @@ class SimpleArrayAggregator:
         del peeled, update_estimate
         self._cursor = 0  # no clearing needed: the cursor bounds validity
 
+    def _grow_to(self, needed: int) -> None:
+        """Double the slot array until ``needed`` records fit.
+
+        Each doubling charges the copy of the live prefix, so a sequence of
+        records costs amortized O(1) extra work; without this, recording
+        past the initial capacity was an opaque ``IndexError``.
+        """
+        size = self._slots.size
+        if needed <= size:
+            return
+        new_size = size
+        while new_size < needed:
+            new_size *= 2
+        if self.tracker is not None and self._cursor:
+            self.tracker.add_work(float(self._cursor))
+        grown = np.zeros(new_size, dtype=np.int64)
+        grown[:self._cursor] = self._slots[:self._cursor]
+        self._slots = grown
+        self._slot_base = None  # shadow region is stale after realloc
+
     def record(self, cell: int, thread: int = 0) -> None:
         del thread
+        self._grow_to(self._cursor + 1)
         detector = None
         if self.tracker is not None:
             self.tracker.add_work(1.0)
@@ -85,6 +106,27 @@ class SimpleArrayAggregator:
             detector.log(self._slot_base + self._cursor, write=True)
         self._slots[self._cursor] = cell
         self._cursor += 1
+
+    def record_many(self, cells, threads=None, address_sink=None) -> None:
+        """Batch :meth:`record`: charges exactly what the per-cell calls
+        would (1 work + 1 atomic + 1 cursor collision each)."""
+        del threads, address_sink
+        cells = np.asarray(cells, dtype=np.int64)
+        n = cells.size
+        if n == 0:
+            return
+        if self.tracker is not None and self.tracker.race_detector is not None:
+            for cell in cells.tolist():
+                self.record(cell)
+            return
+        self._grow_to(self._cursor + n)
+        if self.tracker is not None:
+            self.tracker.add_work_int(n)
+            self.tracker.add_atomic(n)
+        if self.meter is not None:
+            self.meter.record(_CURSOR_ADDRESS, n)
+        self._slots[self._cursor:self._cursor + n] = cells
+        self._cursor += n
 
     def finish_round(self) -> np.ndarray:
         return self._slots[:self._cursor].copy()
@@ -153,6 +195,79 @@ class ListBufferAggregator:
         self._thread_cursor[thread] += 1
         self._thread_remaining[thread] -= 1
 
+    def record_many(self, cells, threads=None, address_sink=None) -> None:
+        """Batch :meth:`record` with exact slot placement and charges.
+
+        Replays the per-thread block-cursor arithmetic in closed form: the
+        k-th record of a thread (counting from its current block fill)
+        reserves a fresh block iff ``k % buffer_size == 0``, and blocks are
+        handed out in global record order --- so slot contents, reservation
+        count (atomics + block-cursor collisions), and the round's filtered
+        output come out identical to per-cell calls.
+        """
+        del address_sink
+        cells = np.asarray(cells, dtype=np.int64)
+        n = cells.size
+        if n == 0:
+            return
+        if threads is None:
+            th = np.zeros(n, dtype=np.int64)
+        else:
+            th = np.asarray(threads, dtype=np.int64) % self.threads
+        if self.tracker is not None and self.tracker.race_detector is not None:
+            for cell, t in zip(cells.tolist(), th.tolist()):
+                self.record(cell, t)
+            return
+        size = self.buffer_size
+        order = np.argsort(th, kind="stable")
+        sorted_th = th[order]
+        first_of_group = np.ones(n, dtype=bool)
+        first_of_group[1:] = sorted_th[1:] != sorted_th[:-1]
+        group_starts = np.flatnonzero(first_of_group)
+        group_ids = np.cumsum(first_of_group) - 1
+        # k: how many records this thread has placed since its current
+        # block's start, including carried-over fill from earlier calls.
+        within = np.arange(n, dtype=np.int64) - group_starts[group_ids]
+        base_fill = (size - self._thread_remaining) % size
+        k_sorted = base_fill[sorted_th] + within
+        k = np.empty(n, dtype=np.int64)
+        k[order] = k_sorted
+        need_new = (k % size) == 0
+        n_reservations = int(need_new.sum())
+        # Blocks are reserved in global record order.
+        reservation_rank = np.cumsum(need_new) - 1
+        new_block_start = self._next_block + size * reservation_rank
+        fill_sorted = np.where(need_new[order], new_block_start[order], -1)
+        current_block_start = self._thread_cursor \
+            - (size - self._thread_remaining)
+        for g, start in enumerate(group_starts):
+            end = group_starts[g + 1] if g + 1 < group_starts.size else n
+            segment = fill_sorted[start:end]
+            if segment[0] < 0:
+                segment[0] = current_block_start[sorted_th[start]]
+            # Block starts are monotone within a thread, so a running max
+            # forward-fills each record's owning block.
+            np.maximum.accumulate(segment, out=segment)
+        slots = np.empty(n, dtype=np.int64)
+        slots[order] = fill_sorted + k_sorted % size
+        self._slots[slots] = cells
+        if self.meter is not None and n_reservations:
+            self.meter.record(_BLOCK_CURSOR_ADDRESS, n_reservations)
+        if self.tracker is not None:
+            self.tracker.add_atomic(n_reservations)
+            self.tracker.add_work_int(n)
+        # Per-thread cursor state after the batch.
+        present = sorted_th[group_starts]
+        group_ends = np.empty(group_starts.size, dtype=np.int64)
+        group_ends[:-1] = group_starts[1:]
+        group_ends[-1] = n
+        last_slot = fill_sorted + k_sorted % size  # sorted order
+        self._thread_cursor[present] = last_slot[group_ends - 1] + 1
+        last_k = k_sorted[group_ends - 1]
+        self._thread_remaining[present] = size - 1 - (last_k % size)
+        self._next_block += size * n_reservations
+        self._allocated += size * n_reservations
+
     def finish_round(self) -> np.ndarray:
         # Parallel-filter unused slots out of the allocated prefix.
         used = self._slots[:self._next_block]
@@ -195,6 +310,29 @@ class HashTableAggregator:
                 self._slot_base + int(cell) % self.capacity,
                 write=True, atomic=True)
         self._table.insert_or_add(cell, 0.0)
+
+    def record_many(self, cells, threads=None, address_sink=None) -> None:
+        """Batch :meth:`record`.
+
+        Hash inserts are inherently sequence-dependent (probing and growth
+        depend on prior inserts), so this loops --- charging is already
+        identical per record.  With ``address_sink`` given (and a tracker
+        attached), each record's simulated probe addresses are captured and
+        appended to the sink as one array per record instead of being fed
+        to the cache, so the batch engine can splice them into the full
+        update stream at the scalar loop's position.
+        """
+        del threads
+        capture = address_sink is not None and self.tracker is not None
+        for cell in np.asarray(cells, dtype=np.int64).tolist():
+            if capture:
+                self.tracker.begin_access_capture()
+                self.record(cell)
+                address_sink.append(
+                    np.asarray(self.tracker.end_access_capture(),
+                               dtype=np.int64))
+            else:
+                self.record(cell)
 
     def finish_round(self) -> np.ndarray:
         cells = np.sort(np.asarray(

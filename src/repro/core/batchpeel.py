@@ -1,0 +1,287 @@
+"""The vectorized batch peeling engine (``NucleusConfig(engine="batch")``).
+
+The scalar peel loop in :mod:`repro.core.decomp` executes one Python-level
+``decode`` / intersection / ``combinations`` chain per peeled r-clique; on
+large frontiers the interpreter overhead dwarfs the algorithm.  This engine
+processes each peeled bucket as flat numpy arrays instead: batch decode,
+array-valued intersections, one vectorized probe pass over all
+``comb(s, r)`` sub-cliques of every rediscovered s-clique, one ``np.add.at``
+scatter for the count updates, and a vectorized first-touch dedup feeding
+``Aggregator.record_many``.
+
+The contract --- enforced by tests/test_batch_engine.py and the bench gate
+--- is that a batch run's *simulated* metrics are bit-for-bit identical to
+the scalar engine's: same work, span, rounds, atomics, probes, contention,
+and cache misses, same core numbers and round log.  Three mechanisms make
+that possible (full rules in docs/cost-model.md):
+
+* every work charge on the peel path is integer-valued, and integer work
+  lands in :class:`~repro.parallel.runtime.PhaseStats`' exact int bin, so
+  charging a closed-form *sum* per batch equals per-call charging;
+* per-task span is the constant ``log2(n) * (s - r + 1)``, so the region
+  max is the same constant;
+* the cache simulator is order-sensitive, so the engine assembles the exact
+  per-round address stream the scalar loop would emit --- decode addresses,
+  then per s-clique the probe addresses of each examined sub-clique (route
+  then final slot), then per applied update the count-cell address followed
+  by any aggregator probe addresses --- and replays it through
+  :meth:`~repro.parallel.runtime.CostTracker.access_sequence`.
+
+The engine requires plain ndarray peeling state, so
+:func:`~repro.core.decomp.arb_nucleus_decomp` falls back to the scalar
+oracle when a race detector is attached (shadow arrays and per-task
+ownership only exist there).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from ..cliques.listing import rec_list_cliques
+from ..parallel.primitives import intersect_many, interleave_segments
+from ..parallel.runtime import CostTracker, _log2
+
+_ALIVE, _PEELING, _PEELED = 0, 1, 2
+
+
+def peel_batch(*, graph, dg, working, table, buckets, aggregator, meter,
+               status, last_round, cores, contraction, config,
+               tracker: CostTracker, n_r: int, r: int, s: int,
+               fractional: bool) -> tuple[int, int, list]:
+    """Run the peeling phase in batch mode; returns (rho, max_core, log).
+
+    Mirrors the scalar loop round for round: same bucket extractions, same
+    begin_round/settle/finish_round sequence, same contraction triggers.
+    """
+    subsets_per_s = comb(s, r)
+    comb_cols = np.asarray(list(combinations(range(s), r)), dtype=np.int64)
+    task_span = _log2(graph.n) * (s - r + 1)
+    cache_on = tracker.cache is not None
+    finished = 0
+    rho = 0
+    round_id = 0
+    max_core = 0
+    round_log: list[tuple[int, int, int]] = []
+
+    while finished < n_r:
+        level, peel_cells = buckets.next_bucket()
+        rho += 1
+        tracker.add_round()
+        max_core = max(max_core, level)
+        cores[peel_cells] = level
+        status[peel_cells] = _PEELING
+        finished += peel_cells.size
+        estimate = int(peel_cells.size) * max(1, level) * \
+            max(1, subsets_per_s - 1)
+        aggregator.begin_round(int(peel_cells.size), estimate)
+
+        with tracker.parallel(int(peel_cells.size)) as region:
+            _run_round(peel_cells, comb_cols, dg, working, table, aggregator,
+                       status, last_round, round_id, fractional, cache_on,
+                       config.threads, r, s, tracker)
+            region.task_span(task_span)
+
+        meter.settle(tracker)
+        updated = aggregator.finish_round()
+        round_log.append((level, int(peel_cells.size), int(updated.size)))
+        status[peel_cells] = _PEELED
+        if updated.size:
+            new_values = np.rint(table.counts[updated]).astype(np.int64)
+            buckets.update(updated, new_values)
+        if contraction is not None:
+            edges, dec_addrs, _ = table.decode_many(
+                peel_cells, collect_addresses=cache_on)
+            if cache_on:
+                tracker.access_sequence(dec_addrs)
+            for u, v in edges:
+                contraction.note_peeled_edge(int(u), int(v))
+            contraction.maybe_contract(
+                lambda a, b: status[table.cell_of(
+                    (a, b) if a < b else (b, a))] != _PEELED,
+                edges_alive_many=lambda pairs: _edges_alive_many(
+                    pairs, table, status, tracker, cache_on))
+        round_id += 1
+    return rho, max_core, round_log
+
+
+def _edges_alive_many(pairs, table, status, tracker, cache_on) -> np.ndarray:
+    """Batch form of the contraction liveness lambda.
+
+    Charges exactly what ``m`` scalar ``cell_of`` calls would --- per pair
+    the routing profile plus ``probes * suffix_width`` work and ``probes``
+    table probes, with the route-then-slot addresses replayed in pair
+    order.  Every checked pair is an original edge of G, hence present.
+    """
+    rows = np.sort(np.asarray(pairs, dtype=np.int64), axis=1)
+    cells, probes, slot_addrs, route_addrs = table.lookup_many(rows)
+    route_work, route_probes, _ = table.route_charge_profile()
+    m = rows.shape[0]
+    total_probes = int(probes.sum())
+    tracker.add_work_int(m * route_work + total_probes * table.suffix_width)
+    tracker.add_probes(m * route_probes + total_probes)
+    if cache_on:
+        tracker.access_sequence(np.concatenate(
+            [route_addrs, slot_addrs[:, None]], axis=1).reshape(-1))
+    return status[cells] != _PEELED
+
+
+def _run_round(peel_cells, comb_cols, dg, working, table, aggregator,
+               status, last_round, round_id, fractional, cache_on, threads,
+               r, s, tracker) -> None:
+    """One round's worth of UPDATE calls, batched (Algorithm 2 lines 13-18)."""
+    n_tasks = peel_cells.size
+    cliques, dec_addrs, dec_lens = table.decode_many(
+        peel_cells, collect_addresses=cache_on)
+
+    # -- rediscover candidate completions per peeled clique.
+    if r == 1:
+        candidates = [working.neighbors(int(v)) for v in cliques[:, 0]]
+        tracker.add_work_int(n_tasks)
+    else:
+        candidates = intersect_many(
+            [[working.neighbors(int(v)) for v in row] for row in cliques],
+            tracker)
+
+    # -- enumerate incident s-cliques (rows) in scalar discovery order.
+    if s - r == 1:
+        sizes = np.fromiter((c.size for c in candidates), dtype=np.int64,
+                            count=n_tasks)
+        total = int(sizes.sum())
+        tracker.add_work_int(total)
+        tracker.add_cliques(total)
+        rows = np.empty((total, s), dtype=np.int64)
+        if total:
+            rows[:, :r] = np.repeat(cliques, sizes, axis=0)
+            rows[:, r] = np.concatenate(
+                [c for c in candidates if c.size]).astype(np.int64)
+        row_task = np.repeat(np.arange(n_tasks, dtype=np.int64), sizes)
+    else:
+        found: list[tuple] = []
+        task_of: list[int] = []
+        for t in range(n_tasks):
+            cand = candidates[t]
+            if cand.size < s - r:
+                continue
+            base = tuple(int(x) for x in cliques[t])
+            before = len(found)
+            rec_list_cliques(dg, cand, s - r, base, found.append, tracker)
+            task_of.extend([t] * (len(found) - before))
+        rows = np.asarray(found, dtype=np.int64).reshape(-1, s)
+        row_task = np.asarray(task_of, dtype=np.int64)
+
+    n_rows = rows.shape[0]
+    n_combs = comb_cols.shape[0]
+    route_work, route_probes, route_len = table.route_charge_profile()
+    if n_rows == 0:
+        if cache_on:
+            tracker.access_sequence(dec_addrs)
+        return
+
+    # -- probe every sub-clique until the scalar loop would stop (first
+    # PEELED), charging the per-subset route + probe costs in bulk.
+    sorted_rows = np.sort(rows, axis=1)
+    subsets = sorted_rows[:, comb_cols]  # (n_rows, n_combs, r)
+    cells_flat, probes_flat, slot_addrs_flat, route_addrs_flat = \
+        table.lookup_many(subsets.reshape(n_rows * n_combs, r))
+    cells = cells_flat.reshape(n_rows, n_combs)
+    probes = probes_flat.reshape(n_rows, n_combs)
+    state = status[cells]
+    peeled_mask = state == _PEELED
+    has_peeled = peeled_mask.any(axis=1)
+    first_peeled = np.where(has_peeled, peeled_mask.argmax(axis=1), n_combs)
+    probed_count = np.minimum(first_peeled + 1, n_combs)
+    probed_mask = np.arange(n_combs)[np.newaxis, :] < probed_count[:, None]
+    probes_examined = int(probes[probed_mask].sum())
+    n_probed = int(probed_count.sum())
+    tracker.add_work_int(n_rows * s + n_probed * route_work
+                         + probes_examined * table.suffix_width)
+    tracker.add_probes(n_probed * route_probes + probes_examined)
+
+    # -- decide which rows apply updates and with what delta.
+    survivors = ~has_peeled
+    peeling_mask = state == _PEELING
+    alive_mask = state == _ALIVE
+    n_peeling = peeling_mask.sum(axis=1)
+    if fractional:
+        apply_row = survivors & alive_mask.any(axis=1)
+        row_delta = -1.0 / np.maximum(n_peeling, 1)
+    else:
+        # Representative mode: only the s-clique whose *base* r-clique is
+        # the least peeling sub-clique subtracts; min() over subset tuples
+        # is the first peeling subset in combination order.
+        first_peeling = np.where(n_peeling > 0,
+                                 peeling_mask.argmax(axis=1), 0)
+        representative = np.take_along_axis(
+            subsets, first_peeling[:, None, None], axis=1)[:, 0, :]
+        base_sorted = np.sort(rows[:, :r], axis=1)
+        apply_row = survivors & alive_mask.any(axis=1) \
+            & (representative == base_sorted).all(axis=1)
+        row_delta = np.full(n_rows, -1.0)
+
+    update_rows = np.flatnonzero(apply_row)
+    alive_sel = alive_mask[update_rows]
+    update_cells = cells[update_rows][alive_sel]  # row-major: scalar order
+    update_row_of = np.repeat(update_rows, alive_sel.sum(axis=1))
+    n_updates = update_cells.size
+    count_addrs = table.add_count_at_many(
+        update_cells, row_delta[update_row_of],
+        collect_addresses=cache_on)
+
+    # -- first-touch dedup and aggregation (vectorized last_round stamp).
+    sink = [] if (cache_on and aggregator.name == "hash") else None
+    record_mask = np.zeros(n_updates, dtype=bool)
+    if n_updates:
+        fresh = last_round[update_cells] != round_id
+        _, first_index = np.unique(update_cells, return_index=True)
+        first_in_batch = np.zeros(n_updates, dtype=bool)
+        first_in_batch[first_index] = True
+        record_mask = fresh & first_in_batch
+        record_cells = update_cells[record_mask]
+        last_round[record_cells] = round_id
+        record_threads = row_task[update_row_of[record_mask]] % threads
+        aggregator.record_many(record_cells, record_threads,
+                               address_sink=sink)
+
+    if not cache_on:
+        return
+
+    # -- replay the exact scalar address stream: per task its decode
+    # addresses, then per discovered s-clique the probed subsets' route +
+    # slot addresses, then per applied update the count-cell address
+    # followed by the aggregator's captured probe addresses.
+    block = np.concatenate(
+        [route_addrs_flat.reshape(n_rows, n_combs, route_len),
+         slot_addrs_flat.reshape(n_rows, n_combs, 1)], axis=2)
+    probe_flat = block[probed_mask].reshape(-1).astype(np.int64)
+    probe_lens = probed_count * (route_len + 1)
+    if n_updates:
+        if sink is not None:
+            agg_lens = np.zeros(n_updates, dtype=np.int64)
+            if sink:
+                agg_lens[record_mask] = np.fromiter(
+                    (seg.size for seg in sink), dtype=np.int64,
+                    count=len(sink))
+            agg_flat = np.concatenate(sink).astype(np.int64) if sink \
+                else np.empty(0, dtype=np.int64)
+            update_flat = interleave_segments(
+                count_addrs.astype(np.int64),
+                np.ones(n_updates, dtype=np.int64), agg_flat, agg_lens)
+            update_seg_lens = 1 + agg_lens
+        else:
+            update_flat = count_addrs.astype(np.int64)
+            update_seg_lens = np.ones(n_updates, dtype=np.int64)
+        row_update_lens = np.zeros(n_rows, dtype=np.int64)
+        np.add.at(row_update_lens, update_row_of, update_seg_lens)
+    else:
+        update_flat = np.empty(0, dtype=np.int64)
+        row_update_lens = np.zeros(n_rows, dtype=np.int64)
+    row_flat = interleave_segments(probe_flat, probe_lens,
+                                   update_flat, row_update_lens)
+    task_row_lens = np.zeros(n_tasks, dtype=np.int64)
+    np.add.at(task_row_lens, row_task, probe_lens + row_update_lens)
+    tracker.access_sequence(
+        interleave_segments(dec_addrs.astype(np.int64), dec_lens,
+                            row_flat, task_row_lens))

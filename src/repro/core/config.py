@@ -55,6 +55,11 @@ class NucleusConfig:
         Block size of the list buffer.
     bucket_window:
         Number of low buckets Julienne materializes at once.
+    engine:
+        ``"scalar"`` -- the per-clique peeling loop (the oracle);
+        ``"batch"`` -- the NumPy-vectorized batch peeling engine, which
+        charges the identical simulated costs in closed form per peeled
+        bucket (see docs/cost-model.md) but runs much faster on the host.
     """
 
     levels: int = 2
@@ -70,6 +75,7 @@ class NucleusConfig:
     threads: int = 60
     buffer_size: int = 64
     bucket_window: int = 64
+    engine: str = "scalar"
 
     @classmethod
     def unoptimized(cls) -> "NucleusConfig":
@@ -100,6 +106,9 @@ class NucleusConfig:
         """
         if not 1 <= r < s:
             raise ValueError(f"need 1 <= r < s, got r={r}, s={s}")
+        if self.engine not in ("scalar", "batch"):
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             "options: 'scalar', 'batch'")
         if self.contraction and (r, s) != (2, 3):
             raise ValueError("graph contraction only applies to (2,3) "
                              "nucleus decomposition (Section 5.6)")

@@ -38,6 +38,7 @@ from ..parallel.primitives import intersect_many
 from ..parallel.runtime import CostTracker, _log2
 from ..sanitize.racecheck import maybe_shadow
 from .aggregation import make_aggregator
+from .batchpeel import peel_batch
 from .config import NucleusConfig
 from .tables import CliqueTable
 
@@ -160,9 +161,17 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
     sort_charge = s * _log2(s)
 
     def count_func(clique):
-        ordered = clique if relabeled else tuple(sorted(clique))
-        if not relabeled:
-            tracker.add_work(sort_charge)
+        if relabeled:
+            ordered = clique
+        else:
+            ordered = tuple(sorted(clique))
+            # Charge the sort only when one actually happens: without
+            # relabeling, discovery order often *is* ascending-id order
+            # (e.g. when orientation rank coincides with vertex id), and
+            # sorted() on a sorted tuple is a linear verification already
+            # covered by the per-clique work below.
+            if ordered != clique:
+                tracker.add_work(sort_charge)
         for subset in combinations(ordered, r):
             table.add_count(subset, 1.0)
 
@@ -197,52 +206,25 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
         contraction = ContractionManager(working, tracker)
 
     fractional = config.update_arithmetic == "fractional"
-    subsets_per_s = comb(s, r)
-    finished = 0
-    rho = 0
-    round_id = 0
-    max_core = 0
-    round_log: list[tuple[int, int, int]] = []
+    engine = config.engine
+    if engine == "batch" and tracker.race_detector is not None:
+        # The race detector relies on per-task shadow-array accesses that
+        # only the scalar loop performs; fall back to the oracle.
+        engine = "scalar"
 
     with tracker.phase("peel"):
-        while finished < n_r:
-            level, peel_cells = buckets.next_bucket()
-            rho += 1
-            tracker.add_round()
-            max_core = max(max_core, level)
-            cores[peel_cells] = level
-            status[peel_cells] = _PEELING
-            finished += peel_cells.size
-            estimate = int(peel_cells.size) * max(1, level) * \
-                max(1, subsets_per_s - 1)
-            aggregator.begin_round(int(peel_cells.size), estimate)
-
-            with tracker.parallel(int(peel_cells.size)) as region:
-                for task, cell in enumerate(peel_cells):
-                    thread = task % config.threads
-                    with region.task():
-                        clique = table.decode(int(cell))
-                        _update_one(table, dg, working, clique, r, s, status,
-                                    last_round, round_id, aggregator, thread,
-                                    fractional, tracker)
-                        # One O(log n) intersection per completion level.
-                        tracker.add_span(_log2(graph.n) * (s - r + 1))
-
-            meter.settle(tracker)
-            updated = aggregator.finish_round()
-            round_log.append((level, int(peel_cells.size), int(updated.size)))
-            status[peel_cells] = _PEELED
-            if updated.size:
-                new_values = np.rint(table.counts[updated]).astype(np.int64)
-                buckets.update(updated, new_values)
-            if contraction is not None:
-                for cell in peel_cells:
-                    u, v = table.decode(int(cell))
-                    contraction.note_peeled_edge(u, v)
-                contraction.maybe_contract(
-                    lambda a, b: status[table.cell_of(
-                        (a, b) if a < b else (b, a))] != _PEELED)
-            round_id += 1
+        if engine == "batch":
+            rho, max_core, round_log = peel_batch(
+                graph=graph, dg=dg, working=working, table=table,
+                buckets=buckets, aggregator=aggregator, meter=meter,
+                status=status, last_round=last_round, cores=cores,
+                contraction=contraction, config=config, tracker=tracker,
+                n_r=n_r, r=r, s=s, fractional=fractional)
+        else:
+            rho, max_core, round_log = _peel_scalar(
+                graph, dg, working, table, buckets, aggregator, meter,
+                status, last_round, cores, contraction, config, tracker,
+                n_r, r, s, fractional)
 
     table.tracker = None  # post-run queries should not keep charging
     order = np.argsort(cells)
@@ -252,6 +234,63 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
         tracker=tracker, config=config, round_log=round_log,
         _cells=cells[order], _cores=cores[cells[order]], _table=table,
         _original_of=original_of)
+
+
+def _peel_scalar(graph, dg, working, table, buckets, aggregator, meter,
+                 status, last_round, cores, contraction, config,
+                 tracker: CostTracker, n_r: int, r: int, s: int,
+                 fractional: bool) -> tuple[int, int, list]:
+    """The per-clique peeling loop (Algorithm 2, lines 23-29).
+
+    This is the oracle the batch engine (:mod:`repro.core.batchpeel`) must
+    match cost-for-cost; keep the two in lockstep when changing charges.
+    """
+    subsets_per_s = comb(s, r)
+    finished = 0
+    rho = 0
+    round_id = 0
+    max_core = 0
+    round_log: list[tuple[int, int, int]] = []
+
+    while finished < n_r:
+        level, peel_cells = buckets.next_bucket()
+        rho += 1
+        tracker.add_round()
+        max_core = max(max_core, level)
+        cores[peel_cells] = level
+        status[peel_cells] = _PEELING
+        finished += peel_cells.size
+        estimate = int(peel_cells.size) * max(1, level) * \
+            max(1, subsets_per_s - 1)
+        aggregator.begin_round(int(peel_cells.size), estimate)
+
+        with tracker.parallel(int(peel_cells.size)) as region:
+            for task, cell in enumerate(peel_cells):
+                thread = task % config.threads
+                with region.task():
+                    clique = table.decode(int(cell))
+                    _update_one(table, dg, working, clique, r, s, status,
+                                last_round, round_id, aggregator, thread,
+                                fractional, tracker)
+                    # One O(log n) intersection per completion level.
+                    tracker.add_span(_log2(graph.n) * (s - r + 1))
+
+        meter.settle(tracker)
+        updated = aggregator.finish_round()
+        round_log.append((level, int(peel_cells.size), int(updated.size)))
+        status[peel_cells] = _PEELED
+        if updated.size:
+            new_values = np.rint(table.counts[updated]).astype(np.int64)
+            buckets.update(updated, new_values)
+        if contraction is not None:
+            for cell in peel_cells:
+                u, v = table.decode(int(cell))
+                contraction.note_peeled_edge(u, v)
+            contraction.maybe_contract(
+                lambda a, b: status[table.cell_of(
+                    (a, b) if a < b else (b, a))] != _PEELED)
+        round_id += 1
+    return rho, max_core, round_log
 
 
 def _update_one(table: CliqueTable, dg: DirectedGraph, working: WorkingGraph,

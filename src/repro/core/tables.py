@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cliques.encode import CliqueEncoder, KeyWidthError, min_levels
+from ..cliques.encode import MAX_KEY_BITS, CliqueEncoder, KeyWidthError, \
+    min_levels
 from ..machine.cache import AddressSpace
-from ..parallel.hashtable import EMPTY_KEY, hash64
+from ..parallel.hashtable import EMPTY_KEY, hash64, hash64_many
+from ..parallel.primitives import segment_offsets
 from ..parallel.runtime import CostTracker, _log2
 
 _EMPTY = np.uint64(EMPTY_KEY)
@@ -169,6 +171,11 @@ class CliqueTable:
         if self.tracker is not None:
             self.tracker.note_memory_units(self.memory_units)
 
+        # Lazy caches for the vectorized (batch-engine) entry points; both
+        # depend only on state that is frozen after construction.
+        self._next_boundary: np.ndarray | None = None
+        self._path_code_table: np.ndarray | None = None
+
     def _insert(self, tid: int, key: int) -> int:
         start = int(self._starts[tid])
         cap = int(self._caps[tid])
@@ -182,6 +189,11 @@ class CliqueTable:
                 break
             if self._keys[cell] == key_u:
                 break
+            if probes >= cap:
+                raise RuntimeError(
+                    f"clique table sub-table {tid} is full: probed all "
+                    f"{cap} slots inserting key {key} without finding it "
+                    f"or an empty cell")
             slot = (slot + 1) & (cap - 1)
             probes += 1
         if self.tracker is not None:
@@ -340,6 +352,229 @@ class CliqueTable:
             for d in range(steps):
                 self.tracker.access(base + 1 + d)
         return tid
+
+    # -- vectorized entry points (batch peeling engine) ------------------------
+    #
+    # These methods process whole arrays of cells/cliques at once.  They
+    # either charge the tracker the exact closed-form total the per-element
+    # methods would (decode_many, add_count_at_many) or charge nothing and
+    # hand the per-element charge profile back to the caller (lookup_many),
+    # letting the batch engine splice probe/update address streams in the
+    # scalar loop's order before replaying them.  See docs/cost-model.md.
+
+    def route_charge_profile(self) -> tuple[int, int, int]:
+        """Per-lookup routing charges ``(work, probes, addresses)``.
+
+        Constants of the layout: what one :meth:`_route` call charges on
+        top of the last-level probe loop.
+        """
+        if self.levels == 1:
+            return 0, 0, 0
+        if self.style == "array":
+            return 1, 0, 1
+        prefix_w = self.levels - 1
+        return prefix_w, prefix_w, prefix_w
+
+    def _route_addresses(self, cliques: np.ndarray) -> np.ndarray:
+        """The ``(m, route_len)`` address matrix :meth:`_route` would touch."""
+        if self.levels == 1:
+            return np.empty((cliques.shape[0], 0), dtype=np.int64)
+        if self.style == "array":
+            return (self._level_addrs[0] + cliques[:, :1]).astype(np.int64)
+        prefix_w = self.levels - 1
+        level_addrs = np.asarray(self._level_addrs[:prefix_w], dtype=np.int64)
+        return level_addrs[np.newaxis, :] + cliques[:, :prefix_w]
+
+    def _route_many(self, cliques: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_route`: table ids per row (charging-free)."""
+        m = cliques.shape[0]
+        prefix_w = self.levels - 1
+        if prefix_w == 0:
+            return np.zeros(m, dtype=np.int64)
+        if self.style == "array":
+            return self._top_array[cliques[:, 0]]
+        bits = self._encoder.bits_per_vertex
+        if prefix_w * bits <= MAX_KEY_BITS:
+            # _paths is in lexicographic row order, so fixed-width packed
+            # codes are sorted and searchsorted recovers the table id.
+            if self._path_code_table is None:
+                packer = CliqueEncoder(self.n, prefix_w)
+                self._path_code_table = packer.encode_many(self._paths) \
+                    if self.n_tables else np.empty(0, dtype=np.uint64)
+                self._path_packer = packer
+            codes = self._path_packer.encode_many(cliques[:, :prefix_w])
+            pos = np.searchsorted(self._path_code_table, codes)
+            pos = np.minimum(pos, max(0, self.n_tables - 1))
+            hit = self._path_code_table[pos] == codes if self.n_tables \
+                else np.zeros(m, dtype=bool)
+            return np.where(hit, pos, -1).astype(np.int64)
+        return np.array(
+            [self._path_to_tid.get(tuple(int(x) for x in row[:prefix_w]), -1)
+             for row in cliques], dtype=np.int64)
+
+    def lookup_many(self, cliques: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`cell_of` over ``(m, r)`` ascending-vertex rows.
+
+        Returns ``(cells, probes, slot_addrs, route_addrs)``: the global
+        cell per row, the linear-probe count :meth:`cell_of` would report,
+        the final-slot simulated address it would touch, and the
+        ``(m, route_len)`` routing addresses preceding it.  Charges nothing
+        --- callers apply :meth:`route_charge_profile` and the returned
+        probe counts themselves.  Every row must be present in the table
+        (the batch engine only looks up sub-cliques of stored cliques);
+        raises ``KeyError`` otherwise.
+        """
+        cliques = np.asarray(cliques, dtype=np.int64).reshape(-1, self.r)
+        m = cliques.shape[0]
+        if m == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy(), \
+                np.empty((0, self.route_charge_profile()[2]), dtype=np.int64)
+        tids = self._route_many(cliques)
+        if (tids < 0).any():
+            raise KeyError("lookup_many requires every row to be present")
+        keys = self._encoder.encode_many(cliques[:, self.levels - 1:])
+        starts = self._starts[tids]
+        masks = (self._caps[tids] - 1).astype(np.uint64)
+        slots = (hash64_many(keys) & masks).astype(np.int64)
+        probes = np.ones(m, dtype=np.int64)
+        cells = np.empty(m, dtype=np.int64)
+        active = np.arange(m)
+        while active.size:
+            found = self._keys[starts[active] + slots[active]]
+            done = (found == keys[active]) | (found == _EMPTY)
+            hit = active[done]
+            cells[hit] = np.where(found[done] == keys[hit],
+                                  starts[hit] + slots[hit], -1)
+            active = active[~done]
+            slots[active] = (slots[active] + 1) \
+                & masks[active].astype(np.int64)
+            probes[active] += 1
+        if (cells < 0).any():
+            raise KeyError("lookup_many requires every row to be present")
+        slot_addrs = self._table_addr[tids] + slots
+        return cells, probes, slot_addrs, self._route_addresses(cliques)
+
+    def add_count_at_many(self, cells: np.ndarray, deltas: np.ndarray,
+                          collect_addresses: bool = False
+                          ) -> np.ndarray | None:
+        """Vectorized :meth:`add_count_at`: ``np.add.at`` scatter plus the
+        exact bulk charges (1 work + 1 atomic per update, applied in index
+        order so float accumulation matches the scalar loop).
+
+        With ``collect_addresses=True`` the per-update simulated addresses
+        are *returned* instead of fed to the cache, so the caller can splice
+        them into a larger in-order stream (see the batch engine).
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        np.add.at(self._counts, cells, deltas)
+        if self.tracker is None:
+            return None
+        self.tracker.add_work_int(cells.size)
+        self.tracker.add_atomic(cells.size)
+        addresses = self.addresses_of_many(cells)
+        detector = self.tracker.race_detector
+        if detector is not None:
+            for address in addresses:
+                detector.log(int(address), write=True, atomic=True)
+        if collect_addresses:
+            return addresses
+        self.tracker.access_sequence(addresses)
+        return None
+
+    def addresses_of_many(self, cells: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_address_of`."""
+        cells = np.asarray(cells, dtype=np.int64)
+        tids = self._owner[cells]
+        return self._table_addr[tids] + (cells - self._starts[tids])
+
+    def decode_many(self, cells: np.ndarray, collect_addresses: bool = False
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`decode` with exact bulk charging.
+
+        Returns ``(cliques, addresses, address_lens)`` where ``cliques`` is
+        the ``(k, r)`` vertex matrix and, when ``collect_addresses`` is
+        set, ``addresses`` / ``address_lens`` give the concatenated
+        per-cell simulated address sequences the scalar decode would touch
+        (in the same per-cell order).  Work is charged identically to ``k``
+        scalar :meth:`decode` calls.
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        k = cells.size
+        empty_addr = np.empty(0, dtype=np.int64)
+        zero_lens = np.zeros(k, dtype=np.int64)
+        if k == 0:
+            return np.empty((0, self.r), dtype=np.int64), empty_addr, zero_lens
+        if self.inverse_map == "stored_pointers":
+            tids = self._owner[cells]
+            boundary = self._next_boundary_array()
+            steps = np.minimum(boundary[cells + 1], self._starts[tids + 1]) \
+                - cells
+            tid_work = int(steps.sum())
+            if collect_addresses:
+                base = self.addresses_of_many(cells)
+                addresses = np.repeat(base + 1, steps) \
+                    + segment_offsets(steps)
+                addr_lens = steps
+            else:
+                addresses, addr_lens = empty_addr, zero_lens
+        else:
+            tids = np.searchsorted(self._starts, cells, side="right") - 1
+            tid_work = int(_log2(self.n_tables + 1)) * k
+            if collect_addresses:
+                addresses, addr_lens = self._bisect_addresses(cells)
+            else:
+                addresses, addr_lens = empty_addr, zero_lens
+        if self.tracker is not None:
+            self.tracker.add_work_int(tid_work + k * self.suffix_width)
+        suffixes = self._encoder.decode_many(self._keys[cells])
+        cliques = np.empty((k, self.r), dtype=np.int64)
+        prefix_w = self.levels - 1
+        if prefix_w:
+            cliques[:, :prefix_w] = self._paths[tids]
+        cliques[:, prefix_w:] = suffixes
+        return cliques, addresses, addr_lens
+
+    def _next_boundary_array(self) -> np.ndarray:
+        """``b[p]``: smallest index >= p holding an empty key (else the cell
+        count); the stored-pointer scan from ``cell`` stops at
+        ``min(b[cell + 1], table end)``.  Keys are frozen after _build, so
+        this is computed once."""
+        if self._next_boundary is None:
+            boundary = np.full(self.total_cells + 1, self.total_cells,
+                               dtype=np.int64)
+            empties = self._keys == _EMPTY
+            idx = np.arange(self.total_cells, dtype=np.int64)
+            vals = np.where(empties, idx, self.total_cells)
+            boundary[:-1] = np.minimum.accumulate(vals[::-1])[::-1]
+            self._next_boundary = boundary
+        return self._next_boundary
+
+    def _bisect_addresses(self, cells: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cell prefix-array addresses of the binary-search decode, as
+        ``(concatenated addresses, per-cell lengths)`` in scalar order."""
+        k = cells.size
+        lo = np.zeros(k, dtype=np.int64)
+        hi = np.full(k, self.n_tables, dtype=np.int64)
+        columns: list[np.ndarray] = []
+        masks: list[np.ndarray] = []
+        alive = lo < hi
+        while alive.any():
+            mid = (lo + hi) // 2
+            columns.append(self._prefix_addr + mid)
+            masks.append(alive.copy())
+            descend = self._starts[mid + 1] <= cells
+            step = alive & descend
+            lo[step] = mid[step] + 1
+            hi[alive & ~descend] = mid[alive & ~descend]
+            alive = lo < hi
+        if not columns:
+            return np.empty(0, dtype=np.int64), np.zeros(k, dtype=np.int64)
+        addr_matrix = np.stack(columns, axis=1)
+        mask_matrix = np.stack(masks, axis=1)
+        return addr_matrix[mask_matrix], mask_matrix.sum(axis=1)
 
     # -- iteration --------------------------------------------------------------
 

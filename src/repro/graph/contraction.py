@@ -64,27 +64,59 @@ class ContractionManager:
         self._lost_since[u] += 1
         self._lost_since[v] += 1
 
-    def maybe_contract(self, edge_alive) -> bool:
+    def maybe_contract(self, edge_alive, edges_alive_many=None) -> bool:
         """Contract if the heuristics fire.
 
         ``edge_alive(u, v)`` must report whether the undirected edge still
-        carries a live (unpeeled) 2-clique.  Returns True if a contraction
-        happened.
+        carries a live (unpeeled) 2-clique.  ``edges_alive_many``, if given,
+        answers the same question for an ``(m, 2)`` batch of edges at once
+        (returning a boolean mask) and must charge the identical simulated
+        costs in the identical order as ``m`` ``edge_alive`` calls --- the
+        batch engine supplies one built on ``CliqueTable.lookup_many``.
+        Rebuild decisions only read each vertex's own adjacency list, so
+        batching the liveness checks cannot change which vertices rebuild.
+        Returns True if a contraction happened.
         """
         if self._peeled_since < self.PEEL_FACTOR * self.working.n:
             return False
         self.contractions += 1
         rebuilt_work = 0
-        for v in range(self.working.n):
-            degree = self.working.degree(v)
-            if degree == 0 or self._lost_since[v] * self.LOSS_DIVISOR < degree:
-                continue
-            nbrs = self.working.neighbors(v)
-            kept = np.asarray([w for w in nbrs if edge_alive(int(v), int(w))],
-                              dtype=np.int64)
-            self.working.replace(v, kept)
-            rebuilt_work += degree
-            self._lost_since[v] = 0
+        if edges_alive_many is not None:
+            rebuild = [v for v in range(self.working.n)
+                       if self.working.degree(v) > 0
+                       and self._lost_since[v] * self.LOSS_DIVISOR
+                       >= self.working.degree(v)]
+            sizes = [self.working.degree(v) for v in rebuild]
+            if rebuild:
+                pairs = np.empty((sum(sizes), 2), dtype=np.int64)
+                pairs[:, 0] = np.repeat(np.asarray(rebuild, dtype=np.int64),
+                                        sizes)
+                pairs[:, 1] = np.concatenate(
+                    [self.working.neighbors(v) for v in rebuild])
+                alive = edges_alive_many(pairs)
+                offset = 0
+                for v, size in zip(rebuild, sizes):
+                    kept = self.working.neighbors(v)[
+                        alive[offset:offset + size]].astype(np.int64)
+                    offset += size
+                    self.working.replace(v, kept)
+                    rebuilt_work += size
+                    self._lost_since[v] = 0
+        else:
+            # Charged in aggregate below: n for the scan + rebuilt_work
+            # for the filters (same totals as the batched branch).
+            for v in range(self.working.n):  # parlint: disable=PAR002
+                degree = self.working.degree(v)
+                if degree == 0 or \
+                        self._lost_since[v] * self.LOSS_DIVISOR < degree:
+                    continue
+                nbrs = self.working.neighbors(v)
+                kept = np.asarray(
+                    [w for w in nbrs if edge_alive(int(v), int(w))],
+                    dtype=np.int64)
+                self.working.replace(v, kept)
+                rebuilt_work += degree
+                self._lost_since[v] = 0
         if self.tracker is not None:
             # Checking every vertex plus the parallel filters that rebuilt.
             self.tracker.add_work(float(self.working.n + rebuilt_work))

@@ -93,6 +93,62 @@ class CacheSimulator:
         self._stamp[set_idx, victim] = self._clock
         return False
 
+    def access_many(self, addresses) -> int:
+        """Touch an ordered batch of addresses; returns the raw miss count.
+
+        Exactly equivalent to calling :meth:`access` once per element in
+        order --- same sampling phase, same LRU clock values, same
+        first-minimum victim choice --- but grouped per cache set so the
+        Python-level work is proportional to the number of *simulated*
+        accesses rather than paying numpy dispatch per call.  Accesses to
+        different sets never interact (each set has its own tag/stamp rows
+        and the global clock values are preserved per access), which is what
+        makes the per-set replay legal.
+        """
+        addrs = np.asarray(addresses, dtype=np.int64).ravel()
+        n = addrs.size
+        if n == 0:
+            return 0
+        if self.sample > 1:
+            # access() simulates every call where the incremented _skip
+            # reaches sample; element i (0-based) is therefore simulated
+            # iff (_skip + i + 1) % sample == 0, and the final phase is
+            # (_skip + n) % sample regardless of how many fired.
+            offsets = np.arange(1, n + 1, dtype=np.int64)
+            simulated = np.flatnonzero((self._skip + offsets) % self.sample == 0)
+            self._skip = (self._skip + n) % self.sample
+            addrs = addrs[simulated]
+            n = addrs.size
+            if n == 0:
+                return 0
+        lines = addrs >> self.line_bits
+        sets = (lines & self.set_mask).astype(np.int64)
+        clocks = self._clock + 1 + np.arange(n, dtype=np.int64)
+        self._clock += n
+        self._raw_accesses += n
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        boundaries = np.flatnonzero(sorted_sets[1:] != sorted_sets[:-1]) + 1
+        misses = 0
+        for group in np.split(order, boundaries):
+            set_idx = int(sets[group[0]])
+            tags = self._tags[set_idx].tolist()
+            stamps = self._stamp[set_idx].tolist()
+            for i in group:
+                line = int(lines[i])
+                clock = int(clocks[i])
+                try:
+                    way = tags.index(line)
+                except ValueError:
+                    misses += 1
+                    way = stamps.index(min(stamps))
+                    tags[way] = line
+                stamps[way] = clock
+            self._tags[set_idx] = tags
+            self._stamp[set_idx] = stamps
+        self._raw_misses += misses
+        return misses
+
     def reset_counters(self) -> None:
         """Zero the counters *and* the sampling/recency state.
 

@@ -23,6 +23,7 @@ regression can be localized, not just detected.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 from ..core.config import NucleusConfig
 from ..core.decomp import arb_nucleus_decomp
@@ -61,19 +62,33 @@ def entry_key(entry: dict) -> str:
 
 def run_entry(graph_name: str, r: int, s: int,
               machine: MachineModel | None = None,
-              threads: int = BENCH_THREADS) -> dict:
-    """Run one pinned decomposition and extract its canonical metrics."""
+              threads: int = BENCH_THREADS,
+              engine: str = "scalar") -> dict:
+    """Run one pinned decomposition and extract its canonical metrics.
+
+    ``engine`` selects the peeling implementation; by the batch engine's
+    cost-parity invariant (docs/cost-model.md) every *simulated* metric in
+    the payload is engine-independent --- only the ``wall_clock`` section
+    (host seconds per phase, outside the machine model) and the ``engine``
+    tag may differ, and neither is in :data:`COMPARED_METRICS`.
+    """
     machine = machine or MachineModel()
     graph = load_dataset(graph_name)
     tracker = CostTracker()
     tracker.cache = CacheSimulator()  # exact: sample=1
-    result = arb_nucleus_decomp(graph, r, s, NucleusConfig.optimal(r, s),
-                                tracker)
+    config = replace(NucleusConfig.optimal(r, s), engine=engine)
+    result = arb_nucleus_decomp(graph, r, s, config, tracker)
     t1 = machine.time(tracker, 1)
     tp = machine.time(tracker, threads)
     breakdown = machine.time_breakdown(tracker, threads)
     return {
         "graph": graph_name, "r": r, "s": s,
+        "engine": engine,
+        "wall_clock": {
+            "total": sum(tracker.phase_wall.values()),
+            **{name: seconds
+               for name, seconds in sorted(tracker.phase_wall.items())},
+        },
         "n_r": result.n_r_cliques, "n_s": result.n_s_cliques,
         "rho": result.rho, "max_core": result.max_core,
         "work": tracker.total.work,
@@ -97,7 +112,8 @@ def run_entry(graph_name: str, r: int, s: int,
 def run_suite(machine: MachineModel | None = None,
               threads: int = BENCH_THREADS,
               suite: tuple[tuple[str, int, int], ...] | None = None,
-              label: str = "", progress=None) -> dict:
+              label: str = "", progress=None,
+              engine: str = "scalar") -> dict:
     """Run the pinned suite; returns the canonical JSON payload (a dict)."""
     if suite is None:
         suite = PINNED_SUITE  # resolved at call time (tests shrink it)
@@ -105,13 +121,15 @@ def run_suite(machine: MachineModel | None = None,
     entries = []
     for graph_name, r, s in suite:
         if progress is not None:
-            progress(f"bench: {graph_name} ({r},{s})")
-        entries.append(run_entry(graph_name, r, s, machine, threads))
+            progress(f"bench: {graph_name} ({r},{s}) [{engine}]")
+        entries.append(run_entry(graph_name, r, s, machine, threads,
+                                 engine=engine))
     from dataclasses import asdict
     return {
         "schema": SCHEMA_VERSION,
         "label": label,
         "threads": threads,
+        "engine": engine,
         "machine": asdict(machine),
         "suite": entries,
     }

@@ -37,6 +37,19 @@ def hash64(key: int) -> int:
     return (h ^ (h >> 31)) & _MASK64
 
 
+def hash64_many(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hash64` over a ``uint64`` array.
+
+    Unsigned 64-bit arithmetic wraps in numpy's C ufuncs, so the masking
+    the scalar version does explicitly is implicit here; the outputs agree
+    element for element.
+    """
+    h = np.asarray(keys, dtype=np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    h = (h ^ (h >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    h = (h ^ (h >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return h ^ (h >> np.uint64(31))
+
+
 def _next_power_of_two(n: int) -> int:
     return 1 << max(1, (n - 1).bit_length())
 

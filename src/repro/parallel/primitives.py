@@ -123,10 +123,40 @@ def intersect_many(arrays, tracker: CostTracker | None = None):
 
     Implements the multi-table intersection bound of Section 3 by probing
     the smallest array against the others.
+
+    2-D frontier form: when ``arrays`` is a sequence of *rows*, each itself
+    a sequence of sorted arrays, every row is intersected independently and
+    a list of result arrays is returned.  The total work charged is exactly
+    the sum of the per-row ``min + 1`` charges, i.e. what one call per row
+    would charge --- the form the batch peeling engine uses to rediscover
+    incident s-cliques for a whole peeled frontier at once.
     """
-    arrays = [np.asarray(a) for a in arrays]
+    arrays = list(arrays)
     if not arrays:
         raise ValueError("intersect_many requires at least one array")
+    if isinstance(arrays[0], (list, tuple)):
+        rows = [[np.asarray(a) for a in row] for row in arrays]
+        if any(not row for row in rows):
+            raise ValueError("intersect_many rows must be non-empty")
+        width = len(rows[0])
+        if all(len(row) == width for row in rows):
+            result = _intersect_rows_keyed(rows, width, tracker)
+            if result is not None:
+                return result
+        results = []
+        total_work = 0
+        for row in rows:
+            total_work += min(a.size for a in row) + 1
+            result = row[0]
+            for other in row[1:]:
+                if result.size == 0:
+                    break
+                result = np.intersect1d(result, other, assume_unique=True)
+            results.append(result)
+        if tracker is not None:
+            tracker.add_work_int(total_work)
+        return results
+    arrays = [np.asarray(a) for a in arrays]
     if tracker is not None:
         tracker.add_work(float(min(a.size for a in arrays)) + 1.0)
     result = arrays[0]
@@ -135,3 +165,83 @@ def intersect_many(arrays, tracker: CostTracker | None = None):
             break
         result = np.intersect1d(result, other, assume_unique=True)
     return result
+
+
+def _intersect_rows_keyed(rows, width: int, tracker) -> list | None:
+    """Intersect many rows of sorted non-negative arrays in one pass.
+
+    Encodes element ``x`` of row ``i`` as ``i * stride + x`` so each
+    column's concatenation is sorted and unique, then intersects columns
+    with C-level merges instead of one ``intersect1d`` per row.  Returns
+    None (caller falls back to the per-row loop) when elements can be
+    negative; charges exactly the per-row ``min + 1`` total.
+    """
+    n_rows = len(rows)
+    row_arange = np.arange(n_rows, dtype=np.int64)
+    columns = []
+    lengths = []
+    for j in range(width):
+        lens = np.fromiter((row[j].size for row in rows), dtype=np.int64,
+                           count=n_rows)
+        lengths.append(lens)
+        columns.append(np.concatenate([row[j] for row in rows])
+                       if int(lens.sum()) else np.empty(0, dtype=np.int64))
+    top = 0
+    for col in columns:
+        if col.size:
+            if int(col.min()) < 0:
+                return None
+            top = max(top, int(col.max()))
+    if tracker is not None:
+        tracker.add_work_int(
+            int(np.minimum.reduce(np.stack(lengths)).sum()) + n_rows)
+    stride = top + 1
+    keys = np.repeat(row_arange, lengths[0]) * stride + columns[0]
+    for j in range(1, width):
+        if keys.size == 0:
+            break
+        keys = np.intersect1d(
+            keys, np.repeat(row_arange, lengths[j]) * stride + columns[j],
+            assume_unique=True)
+    counts = np.bincount(keys // stride, minlength=n_rows)
+    return np.split(keys % stride, np.cumsum(counts)[:-1])
+
+
+def segment_offsets(lengths) -> np.ndarray:
+    """``[0..l0), [0..l1), ...`` concatenated: within-segment offsets for a
+    flattened array of variable-length segments (a pack building block)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+
+
+def interleave_segments(a, a_lens, b, b_lens) -> np.ndarray:
+    """Merge two flattened segment lists so segment ``i`` of the result is
+    ``a``'s segment ``i`` followed by ``b``'s segment ``i``.
+
+    Both inputs must have the same number of segments.  This is how the
+    batch engine reassembles per-task address streams (decode addresses,
+    then per-row probe/update addresses) into the exact order the scalar
+    loop would have produced.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b, dtype=a.dtype) if np.asarray(b).size else \
+        np.zeros(0, dtype=a.dtype)
+    a_lens = np.asarray(a_lens, dtype=np.int64)
+    b_lens = np.asarray(b_lens, dtype=np.int64)
+    if a_lens.size != b_lens.size:
+        raise ValueError("segment count mismatch")
+    seg_lens = a_lens + b_lens
+    seg_starts = np.zeros(seg_lens.size, dtype=np.int64)
+    if seg_lens.size:
+        np.cumsum(seg_lens[:-1], out=seg_starts[1:])
+    out = np.empty(a.size + b.size, dtype=a.dtype)
+    a_pos = np.repeat(seg_starts, a_lens) + segment_offsets(a_lens)
+    b_pos = np.repeat(seg_starts + a_lens, b_lens) + segment_offsets(b_lens)
+    out[a_pos] = a
+    out[b_pos] = b
+    return out

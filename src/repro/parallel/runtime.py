@@ -32,6 +32,7 @@ Typical usage::
 from __future__ import annotations
 
 import math
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -115,9 +116,19 @@ class _ParallelRegion:
 
 @dataclass
 class PhaseStats:
-    """Counters for one named phase of an algorithm."""
+    """Counters for one named phase of an algorithm.
 
-    work: float = 0.0
+    Work is kept in two bins: an exact integer bin (``work_int``, a Python
+    int, so accumulation order cannot change it) and a float bin
+    (``work_frac``) for genuinely fractional charges such as ``log2`` terms.
+    Integer-valued charges dominate the hot paths, and binning them exactly
+    is what lets the batch peeling engine charge a closed-form *sum* per
+    batch yet still match the scalar loop's per-call charging bit for bit
+    (see docs/cost-model.md).  :attr:`work` presents the combined total.
+    """
+
+    work_int: int = 0
+    work_frac: float = 0.0
     span: float = 0.0
     rounds: int = 0
     atomic_ops: int = 0
@@ -128,8 +139,14 @@ class PhaseStats:
     #: sampling rate, like the simulator's own counters).
     cache_misses: int = 0
 
+    @property
+    def work(self) -> float:
+        """Total work: the exact integer bin plus the fractional bin."""
+        return self.work_int + self.work_frac
+
     def merge(self, other: "PhaseStats") -> None:
-        self.work += other.work
+        self.work_int += other.work_int
+        self.work_frac += other.work_frac
         self.span += other.span
         self.rounds += other.rounds
         self.atomic_ops += other.atomic_ops
@@ -173,15 +190,40 @@ class CostTracker:
         self.race_detector = None  # optional sanitize.RaceDetector
         self.trace = None  # optional observe.TraceRecorder
         self.peak_memory_units = 0
+        #: Measured wall-clock seconds per phase (host time, *not* part of
+        #: the simulated-machine model; see docs/profiling.md).
+        self.phase_wall: dict[str, float] = {}
         self._frames: list[_Frame] = [_Frame()]
         self._phase_stack: list[str] = []
+        self._access_sink: list | None = None
 
     # -- charging ---------------------------------------------------------
 
     def add_work(self, amount: float) -> None:
-        self.total.work += amount
+        """Charge ``amount`` operations of work.
+
+        Integer-valued amounts land in the exact integer bin, fractional
+        amounts in the float bin (see :class:`PhaseStats`); either way the
+        combined :attr:`work` total is what callers observe.
+        """
+        amount = float(amount)
+        if amount.is_integer():
+            self.add_work_int(int(amount))
+            return
+        self.total.work_frac += amount
         if self._phase_stack:
-            self.phases[self._phase_stack[-1]].work += amount
+            self.phases[self._phase_stack[-1]].work_frac += amount
+
+    def add_work_int(self, amount: int) -> None:
+        """Charge an exactly-integer amount of work (bulk-charge friendly).
+
+        Because the bin is a Python int, ``add_work_int(a + b)`` is
+        indistinguishable from ``add_work_int(a); add_work_int(b)`` --- the
+        property the batch peeling engine's closed-form charges rely on.
+        """
+        self.total.work_int += amount
+        if self._phase_stack:
+            self.phases[self._phase_stack[-1]].work_int += amount
 
     def add_span(self, amount: float) -> None:
         """Charge span to the current frame.
@@ -238,6 +280,9 @@ class CostTracker:
         simulator's sampling rate, matching its global counters) so
         :meth:`MachineModel.time_breakdown` can localize cache pressure.
         """
+        if self._access_sink is not None:
+            self._access_sink.append(int(address))
+            return
         if self.cache is not None:
             hit = self.cache.access(address)
             if hit is False:
@@ -246,19 +291,67 @@ class CostTracker:
                     self.phases[self._phase_stack[-1]].cache_misses += \
                         self.cache.sample
 
+    def access_sequence(self, addresses) -> None:
+        """Feed an ordered batch of addresses to the cache simulator.
+
+        Equivalent to calling :meth:`access` once per element in order ---
+        the simulator replays the stream through its vectorized
+        :meth:`~repro.machine.cache.CacheSimulator.access_many`, so miss
+        counts, LRU state, and sampling phase come out identical.  This is
+        how the batch peeling engine preserves cache-simulation exactness
+        while charging per batch.
+        """
+        if self._access_sink is not None:
+            self._access_sink.extend(int(a) for a in addresses)
+            return
+        if self.cache is None:
+            return
+        raw_misses = self.cache.access_many(addresses)
+        if raw_misses:
+            scaled = raw_misses * self.cache.sample
+            self.total.cache_misses += scaled
+            if self._phase_stack:
+                self.phases[self._phase_stack[-1]].cache_misses += scaled
+
+    def begin_access_capture(self) -> list[int]:
+        """Divert subsequent :meth:`access` calls into a list (no simulation).
+
+        Used by batch kernels that must *interleave* a sub-structure's
+        address stream (e.g. the hash aggregator's probe addresses) into a
+        larger batch stream before replaying it via :meth:`access_sequence`.
+        Always pair with :meth:`end_access_capture`.
+        """
+        self._access_sink = []
+        return self._access_sink
+
+    def end_access_capture(self) -> list[int]:
+        """Stop diverting accesses; returns the captured address list."""
+        captured = self._access_sink if self._access_sink is not None else []
+        self._access_sink = None
+        return captured
+
     # -- structure --------------------------------------------------------
 
     @contextmanager
     def phase(self, name: str):
-        """Attribute costs charged inside the block to a named phase."""
+        """Attribute costs charged inside the block to a named phase.
+
+        Also records measured wall-clock seconds for the block into
+        :attr:`phase_wall` (nested phases are included in their parent's
+        time).  Wall-clock is an observation of the host interpreter, kept
+        strictly outside the simulated cost model.
+        """
         if name not in self.phases:
             self.phases[name] = PhaseStats()
         self._phase_stack.append(name)
         if self.trace is not None:
             self.trace.begin_phase(self, name)
+        wall_start = time.perf_counter()
         try:
             yield
         finally:
+            elapsed = time.perf_counter() - wall_start
+            self.phase_wall[name] = self.phase_wall.get(name, 0.0) + elapsed
             if self.trace is not None:
                 self.trace.end_phase(self, name)
             self._phase_stack.pop()

@@ -1,0 +1,375 @@
+"""Unit tests for the vectorized kernels behind the batch peeling engine.
+
+Each kernel's contract is exact equivalence with its scalar counterpart:
+same outputs, same simulated charges, same order-sensitive side effects.
+Also hosts the regression tests for the two hot-path overflow bugs fixed
+alongside the engine (clique-table probe overflow, simple-array
+aggregator growth).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bucketing.julienne import JulienneBucketing
+from repro.cliques.encode import CliqueEncoder
+from repro.cliques.listing import collect_cliques
+from repro.cliques.orient import orient
+from repro.core.aggregation import (HashTableAggregator, ListBufferAggregator,
+                                    SimpleArrayAggregator)
+from repro.core.tables import CliqueTable
+from repro.graph.generators import planted_partition
+from repro.machine.cache import AddressSpace, CacheSimulator
+from repro.parallel.atomics import ContentionMeter
+from repro.parallel.hashtable import hash64, hash64_many
+from repro.parallel.primitives import (interleave_segments, intersect_many,
+                                       segment_offsets)
+from repro.parallel.runtime import CostTracker
+
+
+def build_table(r=2, s=3, **layout):
+    dg, _ = orient(planted_partition(40, 4, 0.5, 0.03, seed=5), "degeneracy")
+    cliques = np.sort(collect_cliques(dg, r), axis=1)
+    return CliqueTable(40, r, cliques, tracker=CostTracker(),
+                       address_space=AddressSpace(), **layout), cliques
+
+
+class TestCacheAccessMany:
+    @pytest.mark.parametrize("sample", [1, 3, 13])
+    def test_equivalent_to_scalar_loop(self, sample):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 50_000, size=700)
+        a = CacheSimulator(sample=sample)
+        b = CacheSimulator(sample=sample)
+        for x in addrs:
+            a.access(int(x))
+        b.access_many(addrs)
+        assert a.misses == b.misses
+        assert a.accesses == b.accesses
+        assert np.array_equal(a._tags, b._tags)
+        assert np.array_equal(a._stamp, b._stamp)
+
+    @pytest.mark.parametrize("sample", [1, 4])
+    def test_interleaved_with_scalar_accesses(self, sample):
+        """Batched and scalar accesses mix freely: sampling phase and LRU
+        clocks carry across the boundary."""
+        rng = np.random.default_rng(1)
+        chunks = [rng.integers(0, 9_000, size=k) for k in (7, 1, 120, 3)]
+        a = CacheSimulator(sample=sample)
+        b = CacheSimulator(sample=sample)
+        for i, chunk in enumerate(chunks):
+            for x in chunk:
+                a.access(int(x))
+            if i % 2:
+                b.access_many(chunk)
+            else:
+                for x in chunk:
+                    b.access(int(x))
+        assert a.misses == b.misses
+        assert np.array_equal(a._stamp, b._stamp)
+
+    def test_empty_batch(self):
+        sim = CacheSimulator()
+        assert sim.access_many(np.empty(0, dtype=np.int64)) == 0
+        assert sim.accesses == 0
+
+
+class TestHashAndEncodeMany:
+    def test_hash64_many_matches_scalar(self):
+        keys = np.arange(0, 4000, 7, dtype=np.uint64)
+        batch = hash64_many(keys)
+        assert batch.dtype == np.uint64
+        assert all(int(h) == hash64(int(k)) for k, h in zip(keys, batch))
+
+    def test_encode_decode_many_roundtrip(self):
+        enc = CliqueEncoder(97, 3)
+        rng = np.random.default_rng(2)
+        rows = np.sort(rng.integers(0, 97, size=(50, 3)), axis=1)
+        keys = enc.encode_many(rows)
+        assert all(int(k) == enc.encode(tuple(row)) for row, k in
+                   zip(rows.tolist(), keys))
+        assert np.array_equal(enc.decode_many(keys), rows)
+
+
+class TestTableBatchKernels:
+    def test_lookup_many_matches_cell_of(self):
+        table, cliques = build_table()
+        cells, probes, slot_addrs, route_addrs = table.lookup_many(cliques)
+        for row, cell in zip(cliques.tolist(), cells):
+            assert table.cell_of(tuple(row)) == int(cell)
+        assert probes.min() >= 1
+        assert route_addrs.shape == (cliques.shape[0],
+                                     table.route_charge_profile()[2])
+        assert slot_addrs.shape == (cliques.shape[0],)
+
+    def test_lookup_many_missing_raises(self):
+        table, _ = build_table()
+        with pytest.raises(KeyError):
+            table.lookup_many(np.array([[38, 39]]))
+
+    @pytest.mark.parametrize("layout", [
+        dict(levels=2, style="array", contiguous=True,
+             inverse_map="stored_pointers"),
+        dict(levels=2, style="array", contiguous=False,
+             inverse_map="binary_search"),
+        dict(levels=1, style="hash", contiguous=False,
+             inverse_map="binary_search"),
+    ])
+    def test_decode_many_matches_decode_and_charges(self, layout):
+        table, cliques = build_table(**layout)
+        cells = table.occupied_cells()
+        base_work = table.tracker.total.work
+        decoded, addrs, lens = table.decode_many(cells,
+                                                 collect_addresses=True)
+        bulk_work = table.tracker.total.work - base_work
+        scalar = [table.decode(int(c)) for c in cells]
+        scalar_work = table.tracker.total.work - base_work - bulk_work
+        assert [tuple(row) for row in decoded.tolist()] == scalar
+        assert bulk_work == scalar_work
+        assert addrs.size == int(lens.sum())
+
+    def test_add_count_at_many_matches_scalar(self):
+        table_a, cliques = build_table()
+        table_b, _ = build_table()
+        cells = table_a.occupied_cells()[:10]
+        deltas = np.full(10, -0.25)
+        for cell, delta in zip(cells, deltas):
+            table_a.add_count_at(int(cell), float(delta))
+        table_b.add_count_at_many(cells, deltas)
+        assert np.array_equal(table_a.counts, table_b.counts)
+        assert table_a.tracker.total.work == table_b.tracker.total.work
+        assert table_a.tracker.total.atomic_ops == \
+            table_b.tracker.total.atomic_ops
+
+
+class TestInsertProbeOverflow:
+    """Satellite: a full sub-table must fail loudly, not probe forever."""
+
+    def test_full_subtable_raises(self):
+        table, _ = build_table(levels=1, style="hash", contiguous=False,
+                               inverse_map="binary_search")
+        # Forge a full sub-table: every slot occupied by keys that never
+        # match the probe key.  The old unbounded linear probe spun forever
+        # here; the bound turns it into a diagnosable RuntimeError.
+        table._keys[:] = np.uint64(1) << np.uint64(60)
+        with pytest.raises(RuntimeError, match="sub-table 0 is full"):
+            table._insert(0, 12345)
+
+    def test_error_names_capacity(self):
+        table, _ = build_table(levels=1, style="hash", contiguous=False,
+                               inverse_map="binary_search")
+        table._keys[:] = np.uint64(1) << np.uint64(60)
+        cap = int(table._caps[0])
+        with pytest.raises(RuntimeError, match=f"probed all {cap} slots"):
+            table._insert(0, 99)
+
+
+class TestAggregatorGrowth:
+    """Satellite: SimpleArrayAggregator must grow, not IndexError."""
+
+    def test_records_past_initial_capacity(self):
+        tracker = CostTracker()
+        agg = SimpleArrayAggregator(4, tracker=tracker)
+        agg.begin_round(4, 4)
+        for cell in range(50):  # old code: IndexError at the 5th record
+            agg.record(cell)
+        assert sorted(agg.finish_round().tolist()) == list(range(50))
+
+    def test_growth_charges_copy_work(self):
+        tracker = CostTracker()
+        agg = SimpleArrayAggregator(2, tracker=tracker)
+        agg.begin_round(2, 2)
+        for cell in range(3):
+            agg.record(cell)
+        # 3 records charge 1 work each; the doubling from 2 to 4 copies the
+        # 2 live entries.
+        assert tracker.total.work == 3 + 2
+
+    def test_zero_capacity_never_breaks(self):
+        agg = SimpleArrayAggregator(0)
+        agg.begin_round(0, 0)
+        agg.record(7)
+        assert agg.finish_round().tolist() == [7]
+
+
+AGGREGATORS = [SimpleArrayAggregator, ListBufferAggregator,
+               HashTableAggregator]
+
+
+class TestRecordMany:
+    @pytest.mark.parametrize("cls", AGGREGATORS)
+    def test_matches_scalar_records(self, cls):
+        rng = np.random.default_rng(4)
+        cells = rng.choice(500, size=120, replace=False)
+        threads = rng.integers(0, 8, size=120)
+        runs = []
+        for batched in (False, True):
+            tracker = CostTracker()
+            meter = ContentionMeter()
+            agg = cls(500, threads=8, tracker=tracker, meter=meter,
+                      buffer_size=16)
+            agg.begin_round(60, 120)
+            if batched:
+                agg.record_many(cells, threads)
+            else:
+                for cell, thread in zip(cells, threads):
+                    agg.record(int(cell), int(thread))
+            out = agg.finish_round()
+            meter.settle(tracker)
+            runs.append((out.tolist(), tracker.total.work,
+                         tracker.total.atomic_ops,
+                         tracker.total.contention))
+        assert runs[0] == runs[1]
+
+    @pytest.mark.parametrize("cls", AGGREGATORS)
+    def test_multi_round_state_carries(self, cls):
+        """Batched and scalar recording interleave across rounds (the list
+        buffer's per-thread cursors persist between rounds)."""
+        rng = np.random.default_rng(5)
+        trackers = [CostTracker(), CostTracker()]
+        aggs = [cls(300, threads=4, tracker=t, meter=ContentionMeter(),
+                    buffer_size=8) for t in trackers]
+        for round_no in range(3):
+            cells = rng.choice(300, size=40, replace=False)
+            threads = rng.integers(0, 4, size=40)
+            outs = []
+            for k, agg in enumerate(aggs):
+                agg.begin_round(20, 40)
+                if k:
+                    agg.record_many(cells, threads)
+                else:
+                    for cell, thread in zip(cells, threads):
+                        agg.record(int(cell), int(thread))
+                outs.append(agg.finish_round().tolist())
+            assert outs[0] == outs[1]
+        assert trackers[0].total.work == trackers[1].total.work
+
+    def test_hash_record_many_address_sink(self):
+        """The hash aggregator's captured per-record address segments,
+        replayed in order, reproduce the scalar run's cache stream."""
+        rng = np.random.default_rng(6)
+        cells = rng.choice(200, size=50, replace=False)
+        caches = []
+        for batched in (False, True):
+            tracker = CostTracker()
+            tracker.cache = CacheSimulator(sample=1)
+            agg = HashTableAggregator(200, threads=4, tracker=tracker,
+                                      meter=ContentionMeter())
+            agg.begin_round(25, 50)
+            if batched:
+                sink = []
+                agg.record_many(cells, address_sink=sink)
+                assert len(sink) == cells.size
+                tracker.access_sequence(np.concatenate(sink))
+            else:
+                for cell in cells:
+                    agg.record(int(cell))
+            caches.append((tracker.cache.accesses, tracker.cache.misses))
+        assert caches[0] == caches[1]
+
+
+class TestJulienneFastPath:
+    def _pair(self, n=400, window=16):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 60, size=n)
+        ids = np.arange(n, dtype=np.int64)
+        fast = JulienneBucketing(ids, values, window=window)
+        slow = JulienneBucketing(ids, values, window=window)
+        slow._update_fast = lambda *_: False  # force the per-id loop
+        return fast, slow
+
+    def test_update_matches_slow_loop(self):
+        fast, slow = self._pair()
+        rng = np.random.default_rng(8)
+        for structure in (fast, slow):
+            structure.next_bucket()
+        updated = rng.choice(400, size=150, replace=False)
+        new_values = np.maximum(
+            rng.integers(-5, 55, size=150), 0)
+        fast.update(updated, new_values)
+        slow.update(updated, new_values)
+        assert np.array_equal(fast.values, slow.values)
+        # Identical extraction sequences afterwards (bucket order and
+        # per-bucket append order both preserved).
+        while len(slow):
+            level_f, ids_f = fast.next_bucket()
+            level_s, ids_s = slow.next_bucket()
+            assert level_f == level_s
+            assert np.array_equal(ids_f, ids_s)
+
+    def test_duplicate_ids_fall_back(self):
+        fast, slow = self._pair(n=50, window=8)
+        ids = np.array([3, 3, 7])
+        values = np.array([40, 41, 42])
+        fast.update(ids, values)
+        slow.update(ids, values)
+        assert np.array_equal(fast.values, slow.values)
+
+    def test_below_window_batch_still_raises(self):
+        bucketing = JulienneBucketing(np.arange(20), np.arange(20),
+                                      window=8)
+        bucketing.next_bucket()  # extracts only the value-0 bucket
+        with pytest.raises(ValueError, match="below the current window"):
+            # Force still-alive ids below base to simulate protocol
+            # breakage; the batch fast path must defer to the loop's error.
+            bucketing.base = 50
+            bucketing.update(np.array([1, 2]), np.array([31, 32]))
+
+    def test_unknown_id_raises_keyerror(self):
+        bucketing = JulienneBucketing(np.arange(10), np.arange(10),
+                                      window=4)
+        with pytest.raises(KeyError):
+            bucketing.update(np.array([3, 99]), np.array([1, 1]))
+
+
+class TestSegmentPrimitives:
+    def test_segment_offsets(self):
+        assert segment_offsets([3, 0, 2]).tolist() == [0, 1, 2, 0, 1]
+        assert segment_offsets([]).tolist() == []
+
+    def test_interleave_segments(self):
+        a = np.array([1, 2, 3, 40, 50])
+        b = np.array([9, 8])
+        merged = interleave_segments(a, [3, 2], b, [1, 1])
+        assert merged.tolist() == [1, 2, 3, 9, 40, 50, 8]
+
+    def test_interleave_empty_side(self):
+        a = np.array([5, 6])
+        merged = interleave_segments(a, [1, 1], np.empty(0, np.int64),
+                                     [0, 0])
+        assert merged.tolist() == [5, 6]
+
+    def test_mismatched_segment_counts(self):
+        with pytest.raises(ValueError):
+            interleave_segments(np.array([1]), [1], np.array([2]), [1, 0])
+
+
+class TestIntersectManyRows:
+    def test_matches_per_row_results_and_charge(self):
+        rng = np.random.default_rng(9)
+        rows = []
+        for _ in range(40):
+            row = [np.unique(rng.choice(80, size=rng.integers(0, 25)))
+                   for _ in range(3)]
+            rows.append(row)
+        tracker_batch = CostTracker()
+        batch = intersect_many(rows, tracker_batch)
+        tracker_loop = CostTracker()
+        loop = [intersect_many(row, tracker_loop) for row in rows]
+        assert tracker_batch.total.work == tracker_loop.total.work
+        assert len(batch) == len(loop)
+        for got, want in zip(batch, loop):
+            assert np.array_equal(got, np.asarray(want))
+
+    def test_negative_values_fall_back(self):
+        rows = [[np.array([-3, 1, 5]), np.array([-3, 5])]]
+        result = intersect_many(rows, CostTracker())
+        assert np.array_equal(result[0], np.array([-3, 5]))
+
+    def test_two_dim_charge_equals_one_dim(self):
+        a = np.array([1, 4, 9])
+        b = np.array([4, 9, 11, 20])
+        t1, t2 = CostTracker(), CostTracker()
+        one = intersect_many([a, b], t1)
+        two = intersect_many([[a, b]], t2)[0]
+        assert np.array_equal(one, two)
+        assert t1.total.work == t2.total.work

@@ -40,13 +40,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--label", default="",
                         help="free-form label stored in the payload "
                              "(e.g. a git revision)")
+    parser.add_argument("--engine", choices=["scalar", "batch"],
+                        default="scalar",
+                        help="peeling implementation for the suite run")
+    parser.add_argument("--engine-gate", action="store_true",
+                        help="run the suite under BOTH engines, require "
+                             "bit-for-bit identical simulated metrics and "
+                             "a batch peel wall-clock speedup of at least "
+                             "--min-speedup; writes the scalar payload to "
+                             "--output and the batch payload next to it")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum suite-total peel wall-clock speedup "
+                             "the batch engine must reach in --engine-gate "
+                             "mode (default 1.0: strictly faster)")
     args = parser.parse_args(argv)
 
     # Load the baseline up front: --output may name the same file.
     baseline = bench.load_payload(args.compare) if args.compare else None
 
+    if args.engine_gate:
+        return _engine_gate(args, baseline)
+
     payload = bench.run_suite(threads=args.threads, label=args.label,
-                              progress=lambda msg: print(msg, flush=True))
+                              progress=lambda msg: print(msg, flush=True),
+                              engine=args.engine)
     bench.write_payload(payload, args.output)
     print(f"wrote {len(payload['suite'])} suite entries to {args.output}")
 
@@ -60,6 +77,64 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"no regressions vs {args.compare} "
               f"(tolerance {100.0 * args.tolerance:.1f}%)")
+    return 0
+
+
+#: Entry fields excluded from the bit-for-bit engine comparison: host
+#: wall-clock is the one thing the batch engine is *supposed* to change.
+_HOST_ONLY_FIELDS = ("wall_clock", "engine")
+
+
+def _simulated_view(entry: dict) -> dict:
+    return {k: v for k, v in entry.items() if k not in _HOST_ONLY_FIELDS}
+
+
+def _engine_gate(args, baseline) -> int:
+    """Run both engines; enforce the cost-parity invariant + a speedup."""
+    progress = lambda msg: print(msg, flush=True)  # noqa: E731
+    scalar = bench.run_suite(threads=args.threads, label=args.label,
+                             progress=progress, engine="scalar")
+    batch = bench.run_suite(threads=args.threads, label=args.label,
+                            progress=progress, engine="batch")
+    bench.write_payload(scalar, args.output)
+    root, ext = os.path.splitext(args.output)
+    batch_path = f"{root}.batch{ext or '.json'}"
+    bench.write_payload(batch, batch_path)
+    print(f"wrote scalar payload to {args.output}, "
+          f"batch payload to {batch_path}")
+
+    failures = []
+    for s_entry, b_entry in zip(scalar["suite"], batch["suite"]):
+        key = bench.entry_key(s_entry)
+        if _simulated_view(s_entry) != _simulated_view(b_entry):
+            diffs = [k for k in _simulated_view(s_entry)
+                     if s_entry.get(k) != b_entry.get(k)]
+            failures.append(f"{key}: simulated metrics differ between "
+                            f"engines in fields {diffs}")
+    scalar_peel = sum(e["wall_clock"].get("peel", 0.0)
+                      for e in scalar["suite"])
+    batch_peel = sum(e["wall_clock"].get("peel", 0.0)
+                     for e in batch["suite"])
+    ratio = scalar_peel / batch_peel if batch_peel > 0 else float("inf")
+    print(f"suite peel wall-clock: scalar {scalar_peel:.3f}s, "
+          f"batch {batch_peel:.3f}s (speedup x{ratio:.2f})")
+    if ratio < args.min_speedup:
+        failures.append(f"batch peel speedup x{ratio:.2f} below the "
+                        f"required x{args.min_speedup:.2f}")
+
+    if baseline is not None:
+        for name, payload in (("scalar", scalar), ("batch", batch)):
+            regressions = bench.compare(payload, baseline,
+                                        tolerance=args.tolerance)
+            failures.extend(f"[{name}] {line}" for line in regressions)
+
+    if failures:
+        print("ENGINE GATE FAILURES:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("engine gate passed: identical simulated metrics, "
+          f"batch peel x{ratio:.2f} faster")
     return 0
 
 
