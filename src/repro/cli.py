@@ -51,7 +51,7 @@ def _build_config(args) -> NucleusConfig:
         config = NucleusConfig.optimal(args.r, args.s)
     overrides = {}
     for field in ("levels", "aggregation", "bucketing", "orientation",
-                  "engine"):
+                  "engine", "listing_engine"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -190,7 +190,8 @@ def _cmd_bench(args) -> int:
     baseline = bench.load_payload(args.compare) if args.compare else None
     payload = bench.run_suite(threads=args.threads, label=args.label,
                               progress=lambda msg: print(msg, flush=True),
-                              engine=args.engine)
+                              engine=args.engine,
+                              listing_engine=args.listing_engine)
     bench.write_payload(payload, args.output)
     print(f"wrote {len(payload['suite'])} suite entries to {args.output}")
     if baseline is not None:
@@ -261,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["scalar", "batch"],
                    help="peeling implementation (batch: vectorized, "
                         "identical simulated costs)")
+    p.add_argument("--listing-engine", choices=["scalar", "batch"],
+                   dest="listing_engine",
+                   help="clique-listing implementation (batch: frontier "
+                        "engine, identical simulated costs)")
     p.add_argument("--no-relabel", action="store_true",
                    help="disable orientation-order relabeling")
     p.set_defaults(func=_cmd_decompose)
@@ -311,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["scalar", "batch"],
                    default="scalar",
                    help="peeling implementation for the whole suite")
+    p.add_argument("--listing-engine", choices=["scalar", "batch"],
+                   dest="listing_engine", default="scalar",
+                   help="clique-listing implementation for the whole suite")
     p.add_argument("--label", default="",
                    help="free-form label stored in the payload")
     p.set_defaults(func=_cmd_bench)

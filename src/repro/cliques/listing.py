@@ -90,8 +90,12 @@ def list_cliques(dg: DirectedGraph, c: int, f,
 
 
 def count_cliques(dg: DirectedGraph, c: int,
-                  tracker: CostTracker | None = None) -> int:
+                  tracker: CostTracker | None = None,
+                  engine: str = "scalar") -> int:
     """Count c-cliques without materializing them."""
+    if engine == "batch":
+        from .batchlist import batch_list_cliques
+        return batch_list_cliques(dg, c, tracker)
     counter = [0]
 
     def bump(_clique):
@@ -101,15 +105,72 @@ def count_cliques(dg: DirectedGraph, c: int,
     return counter[0]
 
 
+class _CliqueBuffer:
+    """A preallocated (cap, c) int64 buffer grown by amortized doubling.
+
+    The accumulation structure behind :func:`collect_cliques` (the Python
+    list of tuples it replaced re-boxed every vertex id and then paid a
+    full conversion pass).  Growth copies are real simulated work --- the
+    same amortized-doubling charge the batch peeling engine's
+    ``SimpleArrayAggregator`` fix established --- so each doubling charges
+    ``rows_copied * c`` work.  The scalar append path and the batch block
+    path charge identically: doublings depend only on how many rows have
+    arrived, never on the arrival grain.
+    """
+
+    __slots__ = ("_rows", "_count", "_c", "_tracker")
+
+    _INITIAL_CAP = 256
+
+    def __init__(self, c: int, tracker: CostTracker | None) -> None:
+        self._rows = np.empty((self._INITIAL_CAP, c), dtype=np.int64)
+        self._count = 0
+        self._c = c
+        self._tracker = tracker
+
+    def _grow_to(self, needed: int) -> None:
+        cap = self._rows.shape[0]
+        while cap < needed:
+            if self._tracker is not None:
+                # The doubling copy moves every occupied row once.
+                self._tracker.add_work_int(cap * self._c)
+            cap *= 2
+        if cap != self._rows.shape[0]:
+            grown = np.empty((cap, self._c), dtype=np.int64)
+            grown[:self._count] = self._rows[:self._count]
+            self._rows = grown
+
+    def append(self, clique) -> None:
+        if self._count == self._rows.shape[0]:
+            self._grow_to(self._count + 1)
+        self._rows[self._count] = clique
+        self._count += 1
+
+    def extend(self, block: np.ndarray) -> None:
+        end = self._count + block.shape[0]
+        if end > self._rows.shape[0]:
+            self._grow_to(end)
+        self._rows[self._count:end] = block
+        self._count = end
+
+    def finish(self) -> np.ndarray:
+        return self._rows[:self._count].copy()
+
+
 def collect_cliques(dg: DirectedGraph, c: int,
-                    tracker: CostTracker | None = None) -> np.ndarray:
+                    tracker: CostTracker | None = None,
+                    engine: str = "scalar") -> np.ndarray:
     """All c-cliques as an (count, c) array, rows in discovery order.
 
     Each row's vertices appear in orientation-rank order (ascending ids iff
-    the graph was relabeled by rank, Section 5.4).
+    the graph was relabeled by rank, Section 5.4).  With ``engine="batch"``
+    the frontier engine (:mod:`repro.cliques.batchlist`) fills the buffer
+    block-wise; simulated charges are identical either way.
     """
-    rows: list[tuple] = []
-    list_cliques(dg, c, rows.append, tracker)
-    if not rows:
-        return np.zeros((0, c), dtype=np.int64)
-    return np.asarray(rows, dtype=np.int64)
+    buffer = _CliqueBuffer(c, tracker)
+    if engine == "batch":
+        from .batchlist import batch_list_cliques
+        batch_list_cliques(dg, c, tracker, sink=buffer.extend)
+    else:
+        list_cliques(dg, c, buffer.append, tracker)
+    return buffer.finish()

@@ -40,6 +40,7 @@ from math import comb
 
 import numpy as np
 
+from ..cliques.batchlist import expand_cliques
 from ..cliques.listing import rec_list_cliques
 from ..parallel.primitives import intersect_many, interleave_segments
 from ..parallel.runtime import CostTracker, _log2
@@ -60,6 +61,11 @@ def peel_batch(*, graph, dg, working, table, buckets, aggregator, meter,
     comb_cols = np.asarray(list(combinations(range(s), r)), dtype=np.int64)
     task_span = _log2(graph.n) * (s - r + 1)
     cache_on = tracker.cache is not None
+    # With listing_engine="batch", UPDATE completions run through the
+    # frontier engine instead of re-entering the scalar recursion per
+    # peeled clique (same race-detector fallback as the engines).
+    listing_batch = (config.listing_engine == "batch"
+                     and tracker.race_detector is None)
     finished = 0
     rho = 0
     round_id = 0
@@ -81,7 +87,7 @@ def peel_batch(*, graph, dg, working, table, buckets, aggregator, meter,
         with tracker.parallel(int(peel_cells.size)) as region:
             _run_round(peel_cells, comb_cols, dg, working, table, aggregator,
                        status, last_round, round_id, fractional, cache_on,
-                       config.threads, r, s, tracker)
+                       config.threads, r, s, tracker, listing_batch)
             region.task_span(task_span)
 
         meter.settle(tracker)
@@ -130,7 +136,7 @@ def _edges_alive_many(pairs, table, status, tracker, cache_on) -> np.ndarray:
 
 def _run_round(peel_cells, comb_cols, dg, working, table, aggregator,
                status, last_round, round_id, fractional, cache_on, threads,
-               r, s, tracker) -> None:
+               r, s, tracker, listing_batch: bool = False) -> None:
     """One round's worth of UPDATE calls, batched (Algorithm 2 lines 13-18)."""
     n_tasks = peel_cells.size
     cliques, dec_addrs, dec_lens = table.decode_many(
@@ -158,6 +164,21 @@ def _run_round(peel_cells, comb_cols, dg, working, table, aggregator,
             rows[:, r] = np.concatenate(
                 [c for c in candidates if c.size]).astype(np.int64)
         row_task = np.repeat(np.arange(n_tasks, dtype=np.int64), sizes)
+    elif listing_batch:
+        # Frontier expansion over every eligible task at once; tasks whose
+        # candidate set cannot complete an s-clique are skipped without
+        # charge, exactly like the scalar loop's early continue.
+        sizes = np.fromiter((c.size for c in candidates), dtype=np.int64,
+                            count=n_tasks)
+        eligible = np.flatnonzero(sizes >= s - r)
+        cand_lens = sizes[eligible]
+        cand_values = np.concatenate(
+            [candidates[t] for t in eligible]).astype(np.int64) \
+            if eligible.size else np.empty(0, dtype=np.int64)
+        rows, base_of = expand_cliques(dg, cliques[eligible], cand_values,
+                                       cand_lens, s - r, tracker)
+        rows = rows.reshape(-1, s)
+        row_task = eligible[base_of]
     else:
         found: list[tuple] = []
         task_of: list[int] = []

@@ -60,6 +60,14 @@ class NucleusConfig:
         ``"batch"`` -- the NumPy-vectorized batch peeling engine, which
         charges the identical simulated costs in closed form per peeled
         bucket (see docs/cost-model.md) but runs much faster on the host.
+    listing_engine:
+        ``"scalar"`` -- REC-LIST-CLIQUES as the per-vertex Python
+        recursion (the oracle); ``"batch"`` -- the level-synchronous
+        frontier engine of :mod:`repro.cliques.batchlist`, used by the
+        count phase and (with ``engine="batch"``) the UPDATE completions
+        during peeling.  Same bit-for-bit cost-parity contract as
+        ``engine`` (see docs/cost-model.md); falls back to scalar when a
+        race detector is attached.
     """
 
     levels: int = 2
@@ -76,6 +84,7 @@ class NucleusConfig:
     buffer_size: int = 64
     bucket_window: int = 64
     engine: str = "scalar"
+    listing_engine: str = "scalar"
 
     @classmethod
     def unoptimized(cls) -> "NucleusConfig":
@@ -108,6 +117,10 @@ class NucleusConfig:
             raise ValueError(f"need 1 <= r < s, got r={r}, s={s}")
         if self.engine not in ("scalar", "batch"):
             raise ValueError(f"unknown engine {self.engine!r}; "
+                             "options: 'scalar', 'batch'")
+        if self.listing_engine not in ("scalar", "batch"):
+            raise ValueError(f"unknown listing_engine "
+                             f"{self.listing_engine!r}; "
                              "options: 'scalar', 'batch'")
         if self.contraction and (r, s) != (2, 3):
             raise ValueError("graph contraction only applies to (2,3) "

@@ -27,6 +27,7 @@ from math import comb
 import numpy as np
 
 from ..bucketing import make_bucketing
+from ..cliques.batchlist import batch_count_phase, batch_list_cliques
 from ..cliques.listing import list_cliques, rec_list_cliques
 from ..cliques.orient import orientation_rank
 from ..graph.contraction import ContractionManager, WorkingGraph
@@ -131,15 +132,28 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
         work_rank = rank
     dg = DirectedGraph.orient(work_graph, work_rank)
 
+    # The frontier listing engine charges identical simulated costs but
+    # bypasses the per-task shadow logging the race detector needs; fall
+    # back to the oracle recursion when one is attached (same rule as the
+    # peeling engine below).
+    listing_engine = config.listing_engine
+    if listing_engine == "batch" and tracker.race_detector is not None:
+        listing_engine = "scalar"
+
     # -- Phase 2: enumerate r-cliques and build T (line 21).
     with tracker.phase("enumerate_r"):
-        rows: list[tuple] = []
         if r == 1:
             n_r = graph.n
-            rows = [(v,) for v in range(graph.n)]
+            cliques = np.arange(graph.n, dtype=np.int64)[:, np.newaxis]
+        elif listing_engine == "batch":
+            blocks: list[np.ndarray] = []
+            n_r = batch_list_cliques(dg, r, tracker, sink=blocks.append)
+            cliques = np.concatenate(blocks, axis=0)
         else:
+            rows: list[tuple] = []
             n_r = list_cliques(dg, r, rows.append, tracker)
-        cliques = np.asarray(rows, dtype=np.int64).reshape(n_r, r)
+            cliques = np.asarray(rows, dtype=np.int64).reshape(n_r, r)
+        cliques = cliques.reshape(n_r, r)
         if not config.relabel and n_r:
             # Discovery order is rank order; keys need ascending ids.
             tracker.add_work(n_r * r * _log2(r))
@@ -176,7 +190,10 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
             table.add_count(subset, 1.0)
 
     with tracker.phase("count_s"):
-        n_s = list_cliques(dg, s, count_func, tracker)
+        if listing_engine == "batch":
+            n_s = batch_count_phase(dg, table, r, s, relabeled, tracker)
+        else:
+            n_s = list_cliques(dg, s, count_func, tracker)
 
     # -- Phase 4: bucket and peel (lines 23-29).
     cells = table.occupied_cells()

@@ -483,6 +483,45 @@ class CliqueTable:
         self.tracker.access_sequence(addresses)
         return None
 
+    def add_count_many(self, cliques: np.ndarray, delta: float = 1.0,
+                       collect_addresses: bool = False) -> np.ndarray | None:
+        """Vectorized :meth:`add_count` over ``(m, r)`` ascending rows.
+
+        Every row must already be present.  Charges exactly what ``m``
+        scalar :meth:`add_count` calls would: per row the routing profile,
+        ``probes * suffix_width`` work plus ``probes`` table probes, and
+        one atomic; the count scatter runs in row order (``np.add.at``) so
+        float accumulation matches the scalar loop, and the simulated
+        address stream is each row's route addresses followed by its final
+        slot address --- :meth:`add_count` touches no address for the count
+        update itself.  With ``collect_addresses=True`` the stream is
+        returned instead of replayed, as in :meth:`add_count_at_many`.
+        """
+        cliques = np.asarray(cliques, dtype=np.int64).reshape(-1, self.r)
+        m = cliques.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64) if collect_addresses else None
+        cells, probes, slot_addrs, route_addrs = self.lookup_many(cliques)
+        np.add.at(self._counts, cells, delta)
+        if self.tracker is None:
+            return np.empty(0, dtype=np.int64) if collect_addresses else None
+        route_work, route_probes, _ = self.route_charge_profile()
+        total_probes = int(probes.sum())
+        self.tracker.add_work_int(m * route_work
+                                  + total_probes * self.suffix_width)
+        self.tracker.add_probes(m * route_probes + total_probes)
+        self.tracker.add_atomic(m)
+        detector = self.tracker.race_detector
+        if detector is not None:
+            for address in self.addresses_of_many(cells):
+                detector.log(int(address), write=True, atomic=True)
+        addresses = np.concatenate(
+            [route_addrs, slot_addrs[:, np.newaxis]], axis=1).reshape(-1)
+        if collect_addresses:
+            return addresses
+        self.tracker.access_sequence(addresses)
+        return None
+
     def addresses_of_many(self, cells: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`_address_of`."""
         cells = np.asarray(cells, dtype=np.int64)

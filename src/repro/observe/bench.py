@@ -63,20 +63,24 @@ def entry_key(entry: dict) -> str:
 def run_entry(graph_name: str, r: int, s: int,
               machine: MachineModel | None = None,
               threads: int = BENCH_THREADS,
-              engine: str = "scalar") -> dict:
+              engine: str = "scalar",
+              listing_engine: str = "scalar") -> dict:
     """Run one pinned decomposition and extract its canonical metrics.
 
-    ``engine`` selects the peeling implementation; by the batch engine's
-    cost-parity invariant (docs/cost-model.md) every *simulated* metric in
-    the payload is engine-independent --- only the ``wall_clock`` section
-    (host seconds per phase, outside the machine model) and the ``engine``
-    tag may differ, and neither is in :data:`COMPARED_METRICS`.
+    ``engine`` selects the peeling implementation and ``listing_engine``
+    the clique-listing one; by the batch engines' cost-parity invariant
+    (docs/cost-model.md) every *simulated* metric in the payload is
+    engine-independent --- only the ``wall_clock`` section (host seconds
+    per phase, outside the machine model) and the ``engine`` /
+    ``listing_engine`` tags may differ, and none is in
+    :data:`COMPARED_METRICS`.
     """
     machine = machine or MachineModel()
     graph = load_dataset(graph_name)
     tracker = CostTracker()
     tracker.cache = CacheSimulator()  # exact: sample=1
-    config = replace(NucleusConfig.optimal(r, s), engine=engine)
+    config = replace(NucleusConfig.optimal(r, s), engine=engine,
+                     listing_engine=listing_engine)
     result = arb_nucleus_decomp(graph, r, s, config, tracker)
     t1 = machine.time(tracker, 1)
     tp = machine.time(tracker, threads)
@@ -84,6 +88,7 @@ def run_entry(graph_name: str, r: int, s: int,
     return {
         "graph": graph_name, "r": r, "s": s,
         "engine": engine,
+        "listing_engine": listing_engine,
         "wall_clock": {
             "total": sum(tracker.phase_wall.values()),
             **{name: seconds
@@ -113,7 +118,8 @@ def run_suite(machine: MachineModel | None = None,
               threads: int = BENCH_THREADS,
               suite: tuple[tuple[str, int, int], ...] | None = None,
               label: str = "", progress=None,
-              engine: str = "scalar") -> dict:
+              engine: str = "scalar",
+              listing_engine: str = "scalar") -> dict:
     """Run the pinned suite; returns the canonical JSON payload (a dict)."""
     if suite is None:
         suite = PINNED_SUITE  # resolved at call time (tests shrink it)
@@ -121,15 +127,18 @@ def run_suite(machine: MachineModel | None = None,
     entries = []
     for graph_name, r, s in suite:
         if progress is not None:
-            progress(f"bench: {graph_name} ({r},{s}) [{engine}]")
+            progress(f"bench: {graph_name} ({r},{s}) "
+                     f"[{engine}/{listing_engine}]")
         entries.append(run_entry(graph_name, r, s, machine, threads,
-                                 engine=engine))
+                                 engine=engine,
+                                 listing_engine=listing_engine))
     from dataclasses import asdict
     return {
         "schema": SCHEMA_VERSION,
         "label": label,
         "threads": threads,
         "engine": engine,
+        "listing_engine": listing_engine,
         "machine": asdict(machine),
         "suite": entries,
     }

@@ -207,6 +207,87 @@ def _intersect_rows_keyed(rows, width: int, tracker) -> list | None:
     return np.split(keys % stride, np.cumsum(counts)[:-1])
 
 
+def segment_gather(source, starts, lengths) -> np.ndarray:
+    """Concatenate ``source[starts[i] : starts[i] + lengths[i]]`` segments.
+
+    The gather building block of the frontier kernels: one fancy index
+    materializes many variable-length slices of a flat array (CSR
+    neighborhoods, frontier candidate lists) in segment order.
+    """
+    source = np.asarray(source)
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0 or int(lengths.sum()) == 0:
+        return source[:0]
+    return source[np.repeat(starts, lengths) + segment_offsets(lengths)]
+
+
+def intersect_segments(a_values, a_lens, b_values, b_lens,
+                       tracker: CostTracker | None = None
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Intersect two flattened segment lists row by row.
+
+    Segment ``i`` of the result is ``intersect(a_i, b_i)`` where ``a_i`` /
+    ``b_i`` are the ``i``-th segments of the flattened inputs (each sorted,
+    unique, non-negative).  Returns ``(values, lengths)`` flattened the same
+    way.  Charges exactly what one :func:`intersect_sorted` call per row
+    would: ``min(|a_i|, |b_i|) + 1`` work each, no span, no rounds.
+
+    This is the flat-array form of :func:`intersect_many`'s row-keyed
+    2-D mode, used by the batch clique-listing engine to expand a whole
+    frontier level in one keyed merge instead of one Python call per row.
+    """
+    a_values = np.asarray(a_values, dtype=np.int64)
+    b_values = np.asarray(b_values, dtype=np.int64)
+    a_lens = np.asarray(a_lens, dtype=np.int64)
+    b_lens = np.asarray(b_lens, dtype=np.int64)
+    if a_lens.size != b_lens.size:
+        raise ValueError("segment count mismatch")
+    n_rows = a_lens.size
+    if tracker is not None:
+        tracker.add_work_int(int(np.minimum(a_lens, b_lens).sum()) + n_rows)
+    if n_rows == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    top = 0
+    for col in (a_values, b_values):
+        if col.size:
+            if int(col.min()) < 0:
+                return _intersect_segments_loop(a_values, a_lens,
+                                                b_values, b_lens)
+            top = max(top, int(col.max()))
+    stride = top + 1
+    if stride and n_rows > (2 ** 62) // stride:
+        # Row keys would overflow int64; fall back to the per-row loop.
+        return _intersect_segments_loop(a_values, a_lens, b_values, b_lens)
+    row_ids = np.arange(n_rows, dtype=np.int64)
+    a_keys = np.repeat(row_ids, a_lens) * stride + a_values
+    b_keys = np.repeat(row_ids, b_lens) * stride + b_values
+    keys = np.intersect1d(a_keys, b_keys, assume_unique=True)
+    lengths = np.bincount(keys // stride, minlength=n_rows)
+    return keys % stride, lengths
+
+
+def _intersect_segments_loop(a_values, a_lens, b_values, b_lens
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row fallback of :func:`intersect_segments` (charging-free: the
+    caller has already charged the per-row totals)."""
+    a_off = np.zeros(a_lens.size + 1, dtype=np.int64)
+    b_off = np.zeros(b_lens.size + 1, dtype=np.int64)
+    np.cumsum(a_lens, out=a_off[1:])
+    np.cumsum(b_lens, out=b_off[1:])
+    pieces = []
+    lengths = np.zeros(a_lens.size, dtype=np.int64)
+    for i in range(a_lens.size):
+        piece = np.intersect1d(a_values[a_off[i]:a_off[i + 1]],
+                               b_values[b_off[i]:b_off[i + 1]],
+                               assume_unique=True)
+        lengths[i] = piece.size
+        if piece.size:
+            pieces.append(piece)
+    values = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    return values.astype(np.int64), lengths
+
+
 def segment_offsets(lengths) -> np.ndarray:
     """``[0..l0), [0..l1), ...`` concatenated: within-segment offsets for a
     flattened array of variable-length segments (a pack building block)."""

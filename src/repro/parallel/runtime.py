@@ -36,6 +36,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+import numpy as np
+
 
 def _log2(n: float) -> float:
     """``log2(n)`` clamped below at 1, used for span of size-n primitives."""
@@ -224,6 +226,31 @@ class CostTracker:
         self.total.work_int += amount
         if self._phase_stack:
             self.phases[self._phase_stack[-1]].work_int += amount
+
+    def add_work_frac_repeated(self, amount: float, count: int) -> None:
+        """Charge ``count`` sequential copies of one fractional amount.
+
+        Bit-for-bit equal to a loop of ``count`` :meth:`add_work` calls:
+        binary64 addition is not associative, so the batch engines replay
+        the repeated sum (``np.add.accumulate`` is strictly sequential)
+        instead of multiplying.  This is how the batch listing engine
+        reproduces the scalar COUNT-FUNC's per-clique ``s·log₂s`` sort
+        charges without a Python-level loop.
+        """
+        if count <= 0:
+            return
+        amount = float(amount)
+        if amount.is_integer():
+            self.add_work_int(int(amount) * count)
+            return
+        seq = np.empty(count + 1, dtype=np.float64)
+        seq[1:] = amount
+        seq[0] = self.total.work_frac
+        self.total.work_frac = float(np.add.accumulate(seq)[-1])
+        if self._phase_stack:
+            stats = self.phases[self._phase_stack[-1]]
+            seq[0] = stats.work_frac
+            stats.work_frac = float(np.add.accumulate(seq)[-1])
 
     def add_span(self, amount: float) -> None:
         """Charge span to the current frame.

@@ -43,16 +43,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--engine", choices=["scalar", "batch"],
                         default="scalar",
                         help="peeling implementation for the suite run")
+    parser.add_argument("--listing-engine", choices=["scalar", "batch"],
+                        dest="listing_engine", default="scalar",
+                        help="clique-listing implementation for the suite "
+                             "run")
     parser.add_argument("--engine-gate", action="store_true",
-                        help="run the suite under BOTH engines, require "
-                             "bit-for-bit identical simulated metrics and "
-                             "a batch peel wall-clock speedup of at least "
-                             "--min-speedup; writes the scalar payload to "
-                             "--output and the batch payload next to it")
+                        help="run the suite under BOTH engines (plus a "
+                             "batch-listing run), require bit-for-bit "
+                             "identical simulated metrics, a batch peel "
+                             "wall-clock speedup of at least --min-speedup "
+                             "and a batch-listing count-phase speedup of "
+                             "at least --min-listing-speedup; writes the "
+                             "scalar payload to --output and the batch / "
+                             "listing payloads next to it")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="minimum suite-total peel wall-clock speedup "
                              "the batch engine must reach in --engine-gate "
                              "mode (default 1.0: strictly faster)")
+    parser.add_argument("--min-listing-speedup", type=float, default=1.0,
+                        help="minimum suite-total count-phase wall-clock "
+                             "speedup the batch listing engine must reach "
+                             "in --engine-gate mode (default 1.0: strictly "
+                             "faster)")
     args = parser.parse_args(argv)
 
     # Load the baseline up front: --output may name the same file.
@@ -63,7 +75,8 @@ def main(argv: list[str] | None = None) -> int:
 
     payload = bench.run_suite(threads=args.threads, label=args.label,
                               progress=lambda msg: print(msg, flush=True),
-                              engine=args.engine)
+                              engine=args.engine,
+                              listing_engine=args.listing_engine)
     bench.write_payload(payload, args.output)
     print(f"wrote {len(payload['suite'])} suite entries to {args.output}")
 
@@ -81,49 +94,77 @@ def main(argv: list[str] | None = None) -> int:
 
 
 #: Entry fields excluded from the bit-for-bit engine comparison: host
-#: wall-clock is the one thing the batch engine is *supposed* to change.
-_HOST_ONLY_FIELDS = ("wall_clock", "engine")
+#: wall-clock is the one thing the batch engines are *supposed* to change.
+_HOST_ONLY_FIELDS = ("wall_clock", "engine", "listing_engine")
 
 
 def _simulated_view(entry: dict) -> dict:
     return {k: v for k, v in entry.items() if k not in _HOST_ONLY_FIELDS}
 
 
+def _phase_wall_total(payload: dict, phase: str) -> float:
+    return sum(e["wall_clock"].get(phase, 0.0) for e in payload["suite"])
+
+
+def _parity_failures(reference: dict, candidate: dict,
+                     label: str) -> list[str]:
+    """Bit-for-bit simulated-metric differences between two suite runs."""
+    failures = []
+    for ref_entry, cand_entry in zip(reference["suite"], candidate["suite"]):
+        key = bench.entry_key(ref_entry)
+        if _simulated_view(ref_entry) != _simulated_view(cand_entry):
+            diffs = [k for k in _simulated_view(ref_entry)
+                     if ref_entry.get(k) != cand_entry.get(k)]
+            failures.append(f"{key}: simulated metrics differ between "
+                            f"{label} in fields {diffs}")
+    return failures
+
+
 def _engine_gate(args, baseline) -> int:
-    """Run both engines; enforce the cost-parity invariant + a speedup."""
+    """Run both engines (and the batch listing engine); enforce the
+    cost-parity invariants plus the peel and count-phase speedups."""
     progress = lambda msg: print(msg, flush=True)  # noqa: E731
     scalar = bench.run_suite(threads=args.threads, label=args.label,
                              progress=progress, engine="scalar")
     batch = bench.run_suite(threads=args.threads, label=args.label,
                             progress=progress, engine="batch")
+    listing = bench.run_suite(threads=args.threads, label=args.label,
+                              progress=progress, engine="batch",
+                              listing_engine="batch")
     bench.write_payload(scalar, args.output)
     root, ext = os.path.splitext(args.output)
     batch_path = f"{root}.batch{ext or '.json'}"
+    listing_path = f"{root}.listing{ext or '.json'}"
     bench.write_payload(batch, batch_path)
-    print(f"wrote scalar payload to {args.output}, "
-          f"batch payload to {batch_path}")
+    bench.write_payload(listing, listing_path)
+    print(f"wrote scalar payload to {args.output}, batch payload to "
+          f"{batch_path}, batch-listing payload to {listing_path}")
 
-    failures = []
-    for s_entry, b_entry in zip(scalar["suite"], batch["suite"]):
-        key = bench.entry_key(s_entry)
-        if _simulated_view(s_entry) != _simulated_view(b_entry):
-            diffs = [k for k in _simulated_view(s_entry)
-                     if s_entry.get(k) != b_entry.get(k)]
-            failures.append(f"{key}: simulated metrics differ between "
-                            f"engines in fields {diffs}")
-    scalar_peel = sum(e["wall_clock"].get("peel", 0.0)
-                      for e in scalar["suite"])
-    batch_peel = sum(e["wall_clock"].get("peel", 0.0)
-                     for e in batch["suite"])
+    failures = _parity_failures(scalar, batch, "peel engines")
+    failures += _parity_failures(scalar, listing, "listing engines")
+    scalar_peel = _phase_wall_total(scalar, "peel")
+    batch_peel = _phase_wall_total(batch, "peel")
     ratio = scalar_peel / batch_peel if batch_peel > 0 else float("inf")
     print(f"suite peel wall-clock: scalar {scalar_peel:.3f}s, "
           f"batch {batch_peel:.3f}s (speedup x{ratio:.2f})")
     if ratio < args.min_speedup:
         failures.append(f"batch peel speedup x{ratio:.2f} below the "
                         f"required x{args.min_speedup:.2f}")
+    scalar_count = _phase_wall_total(scalar, "count_s")
+    listing_count = _phase_wall_total(listing, "count_s")
+    listing_ratio = scalar_count / listing_count if listing_count > 0 \
+        else float("inf")
+    print(f"suite count_s wall-clock: scalar {scalar_count:.3f}s, "
+          f"batch listing {listing_count:.3f}s (speedup "
+          f"x{listing_ratio:.2f})")
+    if listing_ratio < args.min_listing_speedup:
+        failures.append(f"batch listing count-phase speedup "
+                        f"x{listing_ratio:.2f} below the required "
+                        f"x{args.min_listing_speedup:.2f}")
 
     if baseline is not None:
-        for name, payload in (("scalar", scalar), ("batch", batch)):
+        for name, payload in (("scalar", scalar), ("batch", batch),
+                              ("listing", listing)):
             regressions = bench.compare(payload, baseline,
                                         tolerance=args.tolerance)
             failures.extend(f"[{name}] {line}" for line in regressions)
@@ -133,8 +174,9 @@ def _engine_gate(args, baseline) -> int:
         for line in failures:
             print(f"  {line}")
         return 1
-    print("engine gate passed: identical simulated metrics, "
-          f"batch peel x{ratio:.2f} faster")
+    print("engine gate passed: identical simulated metrics, batch peel "
+          f"x{ratio:.2f} faster, batch listing count phase "
+          f"x{listing_ratio:.2f} faster")
     return 0
 
 
