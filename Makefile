@@ -43,6 +43,8 @@ lint:
 		echo "ruff not installed; skipping style checks"; \
 	fi
 	PYTHONPATH=src $(PYTHON) -m repro.sanitize.parlint src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint --strict \
+		--baseline parlint-baseline.json src/repro
 
 sanitize:
 	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize

@@ -15,8 +15,10 @@ Subcommands::
 ``decompose`` reads a SNAP-style edge list (or a named surrogate dataset),
 runs ARB-NUCLEUS-DECOMP, and prints summary statistics, the core-number
 histogram, and optionally every r-clique's core number.  ``lint`` runs the
-parlint cost-accounting rules (PAR001--PAR004) and ``sanitize`` drives the
-dynamic race detector over the main algorithm and the baselines.
+parlint cost-accounting rules (PAR001--PAR004; with ``--strict`` the
+interprocedural charge-flow analyzer adds PAR005--PAR008 and the
+batch/scalar parity registry) and ``sanitize`` drives the dynamic race
+detector over the main algorithm and the baselines.
 ``bench`` runs the pinned perf-trajectory suite (optionally gating on a
 baseline) and ``profile`` runs one decomposition under the trace recorder,
 writing a Chrome-trace JSON and printing the five-term time breakdown.
@@ -131,6 +133,21 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    if args.strict or args.sarif is not None or args.baseline \
+            or args.emit_registry:
+        from .sanitize import chargeflow
+        root = args.paths[0] if args.paths else "src/repro"
+        argv = [root]
+        if args.json:
+            argv.append("--json")
+        if args.sarif is not None:
+            argv += ["--sarif", args.sarif] if args.sarif != "-" \
+                else ["--sarif"]
+        if args.baseline:
+            argv += ["--baseline", args.baseline]
+        if args.emit_registry:
+            argv.append("--emit-registry")
+        return chargeflow.main(argv)
     from .sanitize.parlint import lint_paths, report_json
     findings, n_files = lint_paths(args.paths)
     if args.json:
@@ -289,10 +306,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("lint",
-                       help="run the parlint cost-accounting rules")
-    p.add_argument("paths", nargs="+", help="files or directories")
+                       help="run the parlint cost-accounting rules "
+                            "(--strict: interprocedural charge-flow "
+                            "analyzer, PAR001-PAR008)")
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories (with --strict: one "
+                        "package directory; default src/repro)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON report")
+    p.add_argument("--strict", action="store_true",
+                   help="run the interprocedural charge-flow analyzer "
+                        "(call graph + summaries + PAR005-PAR008)")
+    p.add_argument("--sarif", metavar="FILE", nargs="?", const="-",
+                   help="write a SARIF 2.1.0 report (implies --strict; "
+                        "default stdout)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="committed baseline of accepted strict findings "
+                        "(implies --strict)")
+    p.add_argument("--emit-registry", action="store_true",
+                   help="print PARLINT_PARITY templates for engine "
+                        "modules (implies --strict)")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(

@@ -48,6 +48,38 @@ from ..parallel.runtime import CostTracker, _log2
 #: phase's ``rows x C(s,r) x r`` subset matrix), not the frontier itself.
 DEFAULT_BLOCK_ROWS = 65536
 
+#: Batch<->scalar parity contract, verified statically by ``repro lint
+#: --strict`` (rule PAR007); see :data:`repro.core.batchpeel.PARLINT_PARITY`
+#: for the format.  Regenerate fingerprints with ``repro lint --strict
+#: --emit-registry`` after re-running the differential parity tests.
+PARLINT_PARITY = {
+    "expand_cliques": {
+        "oracle": "repro.cliques.listing.rec_list_cliques",
+        "fingerprint": {
+            "add_cliques": 2,
+            "add_work_int": 1,
+            "intersect_segments": 1,
+        },
+    },
+    "batch_list_cliques": {
+        "oracle": "repro.cliques.listing.list_cliques",
+        "fingerprint": {
+            "add_cliques": 1,
+            "add_span": 1,
+            "add_work": 1,
+            "add_work_int": 1,
+            "expand_cliques": 1,
+        },
+    },
+    "batch_count_phase": {
+        "oracle": "repro.core.decomp._count_scalar",
+        "fingerprint": {
+            "add_work_frac_repeated": 1,
+            "batch_list_cliques": 1,
+        },
+    },
+}
+
 
 def expand_cliques(dg: DirectedGraph, bases: np.ndarray,
                    cand_values: np.ndarray, cand_lens: np.ndarray,

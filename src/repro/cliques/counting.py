@@ -105,7 +105,7 @@ def edge_support(graph: CSRGraph, tracker: CostTracker | None = None,
         return {}
     n = graph.n
     edge_keys = edges[:, 0] * n + edges[:, 1]
-    key_order = np.argsort(edge_keys)
+    key_order = np.argsort(edge_keys, kind="stable")
     sorted_keys = edge_keys[key_order]
 
     # One intersection row per directed edge (u, v): N+(u) against N+(v).

@@ -47,6 +47,47 @@ from ..parallel.runtime import CostTracker, _log2
 
 _ALIVE, _PEELING, _PEELED = 0, 1, 2
 
+#: Batch<->scalar parity contract, verified statically by ``repro lint
+#: --strict`` (rule PAR007).  Each kernel names the scalar oracle whose
+#: tracker charges it must reproduce, plus its lexical charge fingerprint
+#: (direct charge-method calls and tracker-forwarding helper calls, with
+#: call-site counts).  Editing a kernel's charges requires re-running the
+#: differential parity tests and re-blessing the fingerprint here ---
+#: regenerate with ``repro lint --strict --emit-registry``.
+PARLINT_PARITY = {
+    "peel_batch": {
+        "oracle": "repro.core.decomp._peel_scalar",
+        "fingerprint": {
+            "_edges_alive_many": 1,
+            "_run_round": 1,
+            "access_sequence": 1,
+            "add_round": 1,
+            "settle": 1,
+            "task_span": 1,
+        },
+    },
+    "_edges_alive_many": {
+        "oracle": "repro.core.tables.CliqueTable.cell_of",
+        "fingerprint": {
+            "access_sequence": 1,
+            "add_probes": 1,
+            "add_work_int": 1,
+        },
+    },
+    "_run_round": {
+        "oracle": "repro.core.decomp._update_one",
+        "fingerprint": {
+            "access_sequence": 2,
+            "add_cliques": 1,
+            "add_probes": 1,
+            "add_work_int": 3,
+            "expand_cliques": 1,
+            "intersect_many": 1,
+            "rec_list_cliques": 1,
+        },
+    },
+}
+
 
 def peel_batch(*, graph, dg, working, table, buckets, aggregator, meter,
                status, last_round, cores, contraction, config,

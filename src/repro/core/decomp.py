@@ -172,28 +172,11 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
 
     # -- Phase 3: count s-cliques per r-clique (COUNT-FUNC, line 22).
     relabeled = config.relabel
-    sort_charge = s * _log2(s)
-
-    def count_func(clique):
-        if relabeled:
-            ordered = clique
-        else:
-            ordered = tuple(sorted(clique))
-            # Charge the sort only when one actually happens: without
-            # relabeling, discovery order often *is* ascending-id order
-            # (e.g. when orientation rank coincides with vertex id), and
-            # sorted() on a sorted tuple is a linear verification already
-            # covered by the per-clique work below.
-            if ordered != clique:
-                tracker.add_work(sort_charge)
-        for subset in combinations(ordered, r):
-            table.add_count(subset, 1.0)
-
     with tracker.phase("count_s"):
         if listing_engine == "batch":
             n_s = batch_count_phase(dg, table, r, s, relabeled, tracker)
         else:
-            n_s = list_cliques(dg, s, count_func, tracker)
+            n_s = _count_scalar(dg, table, r, s, relabeled, tracker)
 
     # -- Phase 4: bucket and peel (lines 23-29).
     cells = table.occupied_cells()
@@ -244,13 +227,38 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
                 n_r, r, s, fractional)
 
     table.tracker = None  # post-run queries should not keep charging
-    order = np.argsort(cells)
+    order = np.argsort(cells, kind="stable")
     return NucleusResult(
         r=r, s=s, n_r_cliques=n_r, n_s_cliques=n_s, rho=rho,
         max_core=max_core, table_memory_units=table.memory_units,
         tracker=tracker, config=config, round_log=round_log,
         _cells=cells[order], _cores=cores[cells[order]], _table=table,
         _original_of=original_of)
+
+
+def _count_scalar(dg, table, r: int, s: int, relabeled: bool,
+                  tracker) -> int:
+    """Algorithm 2's s-clique count (COUNT-FUNC, line 22), one clique at a
+    time --- the scalar oracle whose charges
+    :func:`repro.cliques.batchlist.batch_count_phase` replays in bulk."""
+    sort_charge = s * _log2(s)
+
+    def count_func(clique):
+        if relabeled:
+            ordered = clique
+        else:
+            ordered = tuple(sorted(clique))
+            # Charge the sort only when one actually happens: without
+            # relabeling, discovery order often *is* ascending-id order
+            # (e.g. when orientation rank coincides with vertex id), and
+            # sorted() on a sorted tuple is a linear verification already
+            # covered by the per-clique work below.
+            if ordered != clique:
+                tracker.add_work(sort_charge)
+        for subset in combinations(ordered, r):
+            table.add_count(subset, 1.0)
+
+    return list_cliques(dg, s, count_func, tracker)
 
 
 def _peel_scalar(graph, dg, working, table, buckets, aggregator, meter,

@@ -105,7 +105,7 @@ class ContractionManager:
         else:
             # Charged in aggregate below: n for the scan + rebuilt_work
             # for the filters (same totals as the batched branch).
-            for v in range(self.working.n):  # parlint: disable=PAR002
+            for v in range(self.working.n):
                 degree = self.working.degree(v)
                 if degree == 0 or \
                         self._lost_since[v] * self.LOSS_DIVISOR < degree:

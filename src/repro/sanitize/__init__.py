@@ -1,18 +1,29 @@
 """Static and dynamic analysis for the simulated parallel machine.
 
-Two layers guard the accounting discipline everything in EXPERIMENTS.md
+Three layers guard the accounting discipline everything in EXPERIMENTS.md
 depends on:
 
-* :mod:`repro.sanitize.parlint` -- an AST lint pass over the source tree
-  with project-specific rules (PAR001--PAR004): parallel regions must
-  charge work/span, graph-scale loops must be cost-accounted, shared writes
-  inside tasks must be mediated, contention meters must be settled.
+* :mod:`repro.sanitize.parlint` -- a lexical AST lint pass over the
+  source tree with project-specific rules (PAR001--PAR004): parallel
+  regions must charge work/span, graph-scale loops must be
+  cost-accounted, shared writes inside tasks must be mediated,
+  contention meters must be settled.
+* :mod:`repro.sanitize.chargeflow` -- the interprocedural charge-flow
+  analyzer (``repro lint --strict``): a project-wide call graph
+  (:mod:`~repro.sanitize.callgraph`) and per-function charge summaries
+  (:mod:`~repro.sanitize.summaries`) let PAR001/PAR002 accept
+  charging-via-helper without suppressions, and power the rules
+  PAR005--PAR008 (:mod:`~repro.sanitize.rules`) including the
+  batch/scalar parity registry (:mod:`~repro.sanitize.registry`).
+  SARIF/JSON reporters and the suppression baseline live in
+  :mod:`~repro.sanitize.reporters`.
 * :mod:`repro.sanitize.racecheck` -- a dynamic race detector (the
   ThreadSanitizer analog for the work-span simulator): instrumented
   structures shadow-log accesses per simulated task, and unmediated
   write-write / read-write pairs across tasks are flagged.
 
-CLI entry points: ``repro lint`` and ``repro sanitize``.
+CLI entry points: ``repro lint`` (``--strict`` for the analyzer) and
+``repro sanitize``.
 """
 
 from .racecheck import (Race, RaceDetector, RaceError, RaceStats,
@@ -22,9 +33,15 @@ __all__ = [
     "RaceDetector", "RaceError", "Race", "RaceStats",
     "ShadowArray", "maybe_shadow",
     "Finding", "lint_file", "lint_paths",
+    "analyze", "build_project", "compute_summaries",
 ]
 
 _PARLINT_EXPORTS = {"Finding", "lint_file", "lint_paths"}
+_LAZY_EXPORTS = {
+    "analyze": "chargeflow",
+    "build_project": "callgraph",
+    "compute_summaries": "summaries",
+}
 
 
 def __getattr__(name):
@@ -33,4 +50,9 @@ def __getattr__(name):
     if name in _PARLINT_EXPORTS:
         from . import parlint
         return getattr(parlint, name)
+    if name in _LAZY_EXPORTS:
+        import importlib
+        module = importlib.import_module(
+            f".{_LAZY_EXPORTS[name]}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

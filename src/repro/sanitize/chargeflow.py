@@ -1,0 +1,136 @@
+"""The interprocedural charge-flow analyzer (``repro lint --strict``).
+
+Pipeline, per run:
+
+1. :func:`~repro.sanitize.callgraph.build_project` parses every module
+   under the package root into a call graph (nested defs folded into
+   their top-level kernels, call sites resolved to may-call target sets).
+2. :func:`~repro.sanitize.summaries.compute_summaries` runs the monotone
+   fixpoint that gives every function its transitive tracker-charge set
+   and stamps every call site with a charging verdict.
+3. Per module, the lexical linter (PAR001--PAR004) runs with the
+   summary-derived *charge oracle*, so charging-via-helper needs no
+   suppression; then the interprocedural rules PAR005--PAR008 run
+   (:mod:`~repro.sanitize.rules`), including the ``PARLINT_PARITY``
+   batch/scalar registry checks.
+4. Inline/file-level suppressions are applied (unused ones reported),
+   then the optional committed baseline (stale entries reported).
+
+Exit status is 1 when any finding survives, 0 otherwise --- CI's
+``lint-strict`` job runs this over ``src/repro`` with the committed
+baseline and uploads the SARIF report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import parlint
+from .callgraph import Project, build_project
+from .registry import collect_registry, is_engine_module, render_registry
+from .reporters import apply_baseline, load_baseline, report_json, report_sarif
+from .rules import run_strict_rules
+from .summaries import Summary, charge_oracles, compute_summaries
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[parlint.Finding]
+    n_files: int
+    project: Project
+    summaries: dict[str, Summary] = field(default_factory=dict)
+
+    def scope_of(self, finding: parlint.Finding) -> str:
+        """Qualname of the function enclosing a finding (baseline key)."""
+        for fn in self.project.functions.values():
+            if fn.path == finding.path \
+                    and fn.lineno <= finding.line <= fn.end_lineno:
+                return fn.qualname
+        return "<module>"
+
+
+def analyze(root: str | Path,
+            overlay: dict[str, str] | None = None) -> AnalysisResult:
+    """Run the full analyzer over a package directory."""
+    project = build_project(root, overlay=overlay)
+    summaries = compute_summaries(project)
+    registry, registry_errors = collect_registry(project)
+    findings: list[parlint.Finding] = []
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        any_oracle, workspan_oracle = charge_oracles(
+            project, summaries, name)
+        linter = parlint._Linter(module.path, charge_oracle=any_oracle,
+                                 region_oracle=workspan_oracle)
+        linter.visit(module.tree)
+        raw = linter.findings
+        raw += run_strict_rules(project, summaries, module, registry,
+                                registry_errors)
+        findings += parlint._apply_suppressions(
+            raw, module.source, module.path, report_unused=True)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return AnalysisResult(findings, len(project.modules), project, summaries)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="chargeflow",
+        description="interprocedural charge-flow analyzer for the "
+                    "simulated parallel machine (rules PAR001-PAR008)")
+    parser.add_argument("root", nargs="?", default="src/repro",
+                        help="package directory to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON report on stdout")
+    parser.add_argument("--sarif", metavar="FILE", nargs="?", const="-",
+                        help="write a SARIF 2.1.0 report (default stdout)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="committed baseline of accepted findings")
+    parser.add_argument("--emit-registry", action="store_true",
+                        help="print PARLINT_PARITY templates for every "
+                             "engine module and exit")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"chargeflow: {root} is not a directory", file=sys.stderr)
+        return 2
+    result = analyze(root)
+
+    if args.emit_registry:
+        for name in sorted(result.project.modules):
+            module = result.project.modules[name]
+            if is_engine_module(module):
+                print(f"# {module.path}")
+                print(render_registry(result.project, result.summaries,
+                                      module))
+                print()
+        return 0
+
+    findings = result.findings
+    if args.baseline and Path(args.baseline).exists():
+        findings = apply_baseline(findings, load_baseline(args.baseline),
+                                  result.scope_of)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if args.sarif is not None:
+        sarif = report_sarif(findings)
+        if args.sarif == "-":
+            print(sarif)
+        else:
+            Path(args.sarif).write_text(sarif + "\n", encoding="utf-8")
+    if args.json:
+        print(report_json(findings, result.n_files))
+    elif args.sarif != "-":
+        for finding in findings:
+            print(finding.render())
+        print(f"chargeflow: {len(findings)} finding(s) in "
+              f"{result.n_files} file(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,22 +28,30 @@ Rules (stable ids):
     collisions would never reach the tracker.
 
 False positives are silenced in place with a trailing comment on the
-flagged line::
-
-    for v in range(graph.n):  # parlint: disable=PAR002
+flagged line (``# parlint: disable=PAR002``), or for a whole file with a
+file-level comment anywhere in it (``# parlint: disable-file=PAR006``).
+Suppressions that no longer match a finding are themselves reported (rule
+``UNUSED-SUPPRESSION``) so the committed set cannot rot.
 
 Run as a module (``python -m repro.sanitize.parlint src/repro``) or via
 ``repro lint``; ``--json`` emits a machine-readable report.  Exit status is
 1 when findings remain, 0 otherwise.
+
+The interprocedural analyzer (:mod:`repro.sanitize.chargeflow`, ``repro
+lint --strict``) reuses this module's visitors with a project-wide *charge
+oracle*, so charging that lives in a helper function satisfies PAR001 and
+PAR002 without a suppression.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import io
 import json
 import re
 import sys
+import tokenize
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -56,19 +64,26 @@ RULES = {
 
 #: Methods whose call constitutes a cost charge.
 _CHARGE_METHODS = frozenset({
-    "add_work", "add_span", "add_round", "add_atomic", "add_contention",
-    "add_cliques", "add_probes", "access", "task_span", "_charge", "charge",
+    "add_work", "add_work_int", "add_work_frac_repeated", "add_span",
+    "add_round", "add_atomic", "add_contention", "add_cliques", "add_probes",
+    "access", "access_sequence", "task_span", "_charge", "charge",
 })
 #: The subset that satisfies PAR001 (the region must cost work or span).
 _REGION_CHARGE_METHODS = frozenset({
-    "add_work", "add_span", "task_span", "_charge", "charge",
+    "add_work", "add_work_int", "add_work_frac_repeated", "add_span",
+    "task_span", "_charge", "charge",
 })
 #: Attributes that mark an iteration bound as graph-scale (PAR002).
+#: ``num_edges``-style names are matched by :data:`_SCALE_ATTR_RE` below.
 _SCALE_ATTRS = frozenset({
     "n", "m", "n_r", "n_s", "n_cliques", "total_cells",
 })
+#: ``num_edges`` / ``num_vertices`` / ... attribute spellings (same intent
+#: as the fixed names above, used by related codebases).
+_SCALE_ATTR_RE = re.compile(r"^num_\w+$")
 
-_DISABLE_RE = re.compile(r"#\s*parlint:\s*disable=([A-Z0-9,\s]+)")
+_DISABLE_RE = re.compile(r"#\s*parlint:\s*disable=([A-Z0-9,\s-]+)")
+_DISABLE_FILE_RE = re.compile(r"#\s*parlint:\s*disable-file=([A-Z0-9,\s-]+)")
 
 
 @dataclass(frozen=True)
@@ -91,10 +106,16 @@ def _calls_in(node: ast.AST):
             yield sub
 
 
-def _is_charge_call(call: ast.Call, methods: frozenset) -> bool:
-    """A charge is a known charging method, or any call handed a tracker."""
+def _is_charge_call(call: ast.Call, methods: frozenset,
+                    oracle: frozenset | None = None) -> bool:
+    """A charge is a known charging method, any call handed a tracker, or
+    (with an interprocedural *oracle*) any call site the charge-flow
+    analyzer proved to charge transitively.  Oracles are sets of
+    ``(lineno, col_offset)`` call locations."""
     func = call.func
     if isinstance(func, ast.Attribute) and func.attr in methods:
+        return True
+    if oracle is not None and (call.lineno, call.col_offset) in oracle:
         return True
     for arg in call.args:
         if isinstance(arg, ast.Name) and arg.id == "tracker":
@@ -108,10 +129,11 @@ def _is_charge_call(call: ast.Call, methods: frozenset) -> bool:
     return False
 
 
-def _body_charges(nodes: list[ast.stmt], methods: frozenset) -> bool:
+def _body_charges(nodes: list[ast.stmt], methods: frozenset,
+                  oracle: frozenset | None = None) -> bool:
     for stmt in nodes:
         for call in _calls_in(stmt):
-            if _is_charge_call(call, methods):
+            if _is_charge_call(call, methods, oracle):
                 return True
     return False
 
@@ -144,8 +166,21 @@ class _Scope:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str) -> None:
+    """The per-file visitor.
+
+    ``charge_oracle`` / ``region_oracle`` are optional frozensets of
+    ``(lineno, col_offset)`` call locations the interprocedural analyzer
+    proved to charge the tracker (any method / work-span methods
+    respectively); with them, charging-via-helper satisfies PAR001 and
+    PAR002 without suppressions.
+    """
+
+    def __init__(self, path: str,
+                 charge_oracle: frozenset | None = None,
+                 region_oracle: frozenset | None = None) -> None:
         self.path = path
+        self.charge_oracle = charge_oracle
+        self.region_oracle = region_oracle
         self.findings: list[Finding] = []
         self._scopes: list[_Scope] = []
         self._blocks: list[list[ast.stmt]] = []  # statement-list stack
@@ -229,7 +264,8 @@ class _Linter(ast.NodeVisitor):
         for item in node.items:
             attr = _with_call_attr(item)
             if attr == "parallel":
-                if not _body_charges(node.body, _REGION_CHARGE_METHODS):
+                if not _body_charges(node.body, _REGION_CHARGE_METHODS,
+                                     self.region_oracle):
                     self._emit("PAR001", node,
                                "parallel region whose body never charges "
                                "work or span to the tracker")
@@ -294,7 +330,8 @@ class _Linter(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         if self._is_graph_scale(node.iter) and self._in_tracked_scope() \
-                and not _body_charges(node.body, _CHARGE_METHODS) \
+                and not _body_charges(node.body, _CHARGE_METHODS,
+                                      self.charge_oracle) \
                 and not self._block_charges_around(node):
             self._emit("PAR002", node,
                        "loop over graph-scale data with no tracker charge "
@@ -303,17 +340,29 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _block_charges_around(self, node: ast.For) -> bool:
-        """An aggregate charge beside the loop (same statement block)
-        accounts for it --- the listing/contraction pattern of charging
-        ``O(n)`` once instead of ``O(1)`` per iteration."""
-        if not self._blocks:
-            return False
-        block = self._blocks[-1]
-        siblings = [stmt for stmt in block if stmt is not node]
-        return _body_charges(siblings, _CHARGE_METHODS)
+        """An aggregate charge beside the loop accounts for it --- the
+        listing/contraction pattern of charging ``O(n)`` once instead of
+        ``O(1)`` per iteration.  Any enclosing statement block within the
+        function counts: the charge may sit in a sibling branch (e.g. an
+        ``if self.tracker is not None:`` guard next to the guarded loop)."""
+        scope_body = None
+        for scope in reversed(self._scopes):
+            if not isinstance(scope.node, ast.Module):
+                scope_body = scope.node.body
+                break
+        for block in reversed(self._blocks):
+            siblings = [stmt for stmt in block if stmt is not node]
+            if _body_charges(siblings, _CHARGE_METHODS, self.charge_oracle):
+                return True
+            if block is scope_body:
+                break  # don't escape the enclosing function scope
+        return False
 
     @staticmethod
     def _is_graph_scale(iter_expr: ast.expr) -> bool:
+        """``range(...)`` bounded by a graph-scale attribute (``graph.n``,
+        ``table.num_cells``, ...) or by ``len(...)`` of anything --- the
+        iteration count is data-dependent either way."""
         if not (isinstance(iter_expr, ast.Call)
                 and isinstance(iter_expr.func, ast.Name)
                 and iter_expr.func.id == "range"):
@@ -321,7 +370,12 @@ class _Linter(ast.NodeVisitor):
         for arg in iter_expr.args:
             for sub in ast.walk(arg):
                 if isinstance(sub, ast.Attribute) \
-                        and sub.attr in _SCALE_ATTRS:
+                        and (sub.attr in _SCALE_ATTRS
+                             or _SCALE_ATTR_RE.match(sub.attr)):
+                    return True
+                if isinstance(sub, ast.Call) \
+                        and isinstance(sub.func, ast.Name) \
+                        and sub.func.id == "len":
                     return True
         return False
 
@@ -335,25 +389,90 @@ class _Linter(ast.NodeVisitor):
         return False
 
 
-def _suppressed(findings: list[Finding], source: str) -> list[Finding]:
-    lines = source.splitlines()
-    kept = []
-    for finding in findings:
-        if finding.line <= len(lines):
-            match = _DISABLE_RE.search(lines[finding.line - 1])
-            if match and finding.rule in {
-                    rule.strip() for rule in match.group(1).split(",")}:
-                continue
-        kept.append(finding)
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """Genuine ``(line, text)`` comment tokens.  tokenize (not a per-line
+    regex) so suppression examples quoted inside docstrings are ignored."""
+    comments = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # ast.parse succeeded, so this is unreachable in practice
+    return comments
+
+
+def _parse_rules(spec: str) -> set[str]:
+    return {rule.strip() for rule in spec.split(",") if rule.strip()}
+
+
+class _Suppressions:
+    """The file's suppression comments, tracking which ones fired."""
+
+    def __init__(self, source: str) -> None:
+        #: line -> (rules, fired-rules) for ``# parlint: disable=...``
+        self.by_line: dict[int, tuple[set[str], set[str]]] = {}
+        #: ``# parlint: disable-file=...``: rule -> (decl line, fired?)
+        self.file_level: dict[str, tuple[int, bool]] = {}
+        for line, text in _comment_tokens(source):
+            match = _DISABLE_RE.search(text)
+            if match:
+                rules, fired = self.by_line.setdefault(line, (set(), set()))
+                rules.update(_parse_rules(match.group(1)))
+            match = _DISABLE_FILE_RE.search(text)
+            if match:
+                for rule in _parse_rules(match.group(1)):
+                    self.file_level.setdefault(rule, (line, False))
+
+    def suppresses(self, finding: Finding) -> bool:
+        entry = self.by_line.get(finding.line)
+        if entry is not None and finding.rule in entry[0]:
+            entry[1].add(finding.rule)
+            return True
+        if finding.rule in self.file_level:
+            line, _ = self.file_level[finding.rule]
+            self.file_level[finding.rule] = (line, True)
+            return True
+        return False
+
+    def unused(self, path: str) -> list[Finding]:
+        """Suppression comments that silenced nothing (so the committed
+        set cannot rot as the code underneath is fixed)."""
+        stale = []
+        for line, (rules, fired) in sorted(self.by_line.items()):
+            for rule in sorted(rules - fired):
+                stale.append(Finding(
+                    "UNUSED-SUPPRESSION", path, line, 0,
+                    f"suppression of {rule} matches no finding; remove it"))
+        for rule, (line, was_used) in sorted(self.file_level.items()):
+            if not was_used:
+                stale.append(Finding(
+                    "UNUSED-SUPPRESSION", path, line, 0,
+                    f"file-level suppression of {rule} matches no finding; "
+                    f"remove it"))
+        return stale
+
+
+def _apply_suppressions(findings: list[Finding], source: str, path: str,
+                        report_unused: bool = True) -> list[Finding]:
+    suppressions = _Suppressions(source)
+    kept = [f for f in findings if not suppressions.suppresses(f)]
+    if report_unused:
+        kept.extend(suppressions.unused(path))
     return kept
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+def lint_source(source: str, path: str = "<string>",
+                charge_oracle: frozenset | None = None,
+                region_oracle: frozenset | None = None,
+                report_unused: bool = True) -> list[Finding]:
     """Lint one source string; returns surviving findings."""
     tree = ast.parse(source, filename=path)
-    linter = _Linter(path)
+    linter = _Linter(path, charge_oracle=charge_oracle,
+                     region_oracle=region_oracle)
     linter.visit(tree)
-    return _suppressed(linter.findings, source)
+    return _apply_suppressions(linter.findings, source, path,
+                               report_unused=report_unused)
 
 
 def lint_file(path: str | Path) -> list[Finding]:

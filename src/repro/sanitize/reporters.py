@@ -1,0 +1,137 @@
+"""Reporters and the suppression baseline for the charge-flow analyzer.
+
+Two machine-readable formats:
+
+* JSON --- the same shape :func:`repro.sanitize.parlint.report_json`
+  emits, with the strict rule catalog merged in; consumed by CI logs.
+* SARIF 2.1.0 --- for code-scanning UIs; uploaded as a CI artifact.
+
+The *baseline* is a committed JSON file of findings that are known and
+temporarily accepted.  Entries are matched by ``(rule, relative path,
+enclosing scope)`` --- deliberately not by line number, so unrelated
+edits don't churn the file.  Baseline entries that no longer match any
+finding are reported (pseudo-rule ``STALE-BASELINE``) so the file can
+only shrink as findings are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .parlint import RULES as LEXICAL_RULES
+from .parlint import Finding
+from .rules import STRICT_RULES
+
+ALL_RULES = {**LEXICAL_RULES, **STRICT_RULES}
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def report_json(findings: list[Finding], n_files: int) -> str:
+    return json.dumps({
+        "tool": "parlint-chargeflow",
+        "version": 1,
+        "checked_files": n_files,
+        "rules": ALL_RULES,
+        "findings": [{
+            "rule": f.rule, "path": f.path, "line": f.line,
+            "col": f.col, "message": f.message,
+        } for f in findings],
+    }, indent=2)
+
+
+def report_sarif(findings: list[Finding], base: str | Path = ".") -> str:
+    """A SARIF 2.1.0 log.  Paths are made relative to *base* when
+    possible (SARIF URIs should not leak absolute build paths)."""
+    base = Path(base).resolve()
+    rule_ids = sorted({f.rule for f in findings} | set(ALL_RULES))
+    rules = [{
+        "id": rule_id,
+        "shortDescription": {
+            "text": ALL_RULES.get(rule_id, "analyzer diagnostic")},
+    } for rule_id in rule_ids]
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for f in findings:
+        try:
+            uri = Path(f.path).resolve().relative_to(base).as_posix()
+        except ValueError:
+            uri = Path(f.path).as_posix()
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "warning" if f.rule in ("UNUSED-SUPPRESSION",
+                                             "STALE-BASELINE") else "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": max(f.line, 1),
+                               "startColumn": f.col + 1},
+                },
+            }],
+        })
+    return json.dumps({
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "parlint-chargeflow",
+                "informationUri":
+                    "https://github.com/paper-repro/nucleus-decomposition",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# baseline
+
+
+def _fingerprint(finding: Finding, scope: str, base: Path) -> tuple:
+    try:
+        rel = Path(finding.path).resolve().relative_to(base).as_posix()
+    except ValueError:
+        rel = Path(finding.path).as_posix()
+    return (finding.rule, rel, scope)
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data.get("findings", data if isinstance(data, list) else [])
+    return [e for e in entries
+            if isinstance(e, dict) and "rule" in e and "path" in e]
+
+
+def apply_baseline(findings: list[Finding], entries: list[dict],
+                   scope_of, base: str | Path = ".") -> list[Finding]:
+    """Filter findings matched by the baseline; report stale entries.
+
+    *scope_of* maps a finding to the qualname of its enclosing function
+    (or ``"<module>"``), supplied by the analyzer which knows the spans.
+    """
+    base = Path(base).resolve()
+    wanted: dict[tuple, dict] = {}
+    for entry in entries:
+        key = (entry["rule"], Path(entry["path"]).as_posix(),
+               entry.get("scope", "<module>"))
+        wanted[key] = entry
+    used: set[tuple] = set()
+    kept = []
+    for finding in findings:
+        key = _fingerprint(finding, scope_of(finding), base)
+        if key in wanted:
+            used.add(key)
+            continue
+        kept.append(finding)
+    for key in sorted(wanted.keys() - used):
+        rule, rel, scope = key
+        kept.append(Finding(
+            "STALE-BASELINE", rel, 0, 0,
+            f"baseline entry ({rule} in {scope}) matches no finding; "
+            f"remove it from the baseline file"))
+    return kept

@@ -1,0 +1,5 @@
+"""Fixture package with known charge-flow shapes for the analyzer tests.
+
+Each module is one shape; tests/test_chargeflow.py asserts the exact
+finding set the analyzer produces over this package.
+"""

@@ -1,0 +1,17 @@
+"""Shape: engine module with an uncharged bulk op and an unpaired kernel.
+
+``batch_scale`` runs a vectorized op but never charges -> PAR005.
+``batch_accumulate`` charges but has no PARLINT_PARITY entry -> PAR007.
+"""
+
+import numpy as np
+
+
+def batch_scale(values, tracker):
+    assert tracker is not None
+    return np.cumsum(values)
+
+
+def batch_accumulate(values, tracker):
+    tracker.add_work(float(len(values)))
+    return np.cumsum(values)

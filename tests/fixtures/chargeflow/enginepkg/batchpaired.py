@@ -1,0 +1,28 @@
+"""Shape: registered engine kernels, one blessed and one drifted.
+
+``batch_sum`` matches its declared fingerprint -> clean.
+``batch_drifted`` declares two add_work call sites but has one -> PAR007.
+"""
+
+import numpy as np
+
+PARLINT_PARITY = {
+    "batch_sum": {
+        "oracle": "enginepkg.scalar.scalar_sum",
+        "fingerprint": {"add_work": 1},
+    },
+    "batch_drifted": {
+        "oracle": "enginepkg.scalar.scalar_sum",
+        "fingerprint": {"add_work": 2},
+    },
+}
+
+
+def batch_sum(values, tracker):
+    tracker.add_work(float(len(values)))
+    return float(np.cumsum(values)[-1])
+
+
+def batch_drifted(values, tracker):
+    tracker.add_work(float(len(values)))
+    return float(np.cumsum(values)[-1])

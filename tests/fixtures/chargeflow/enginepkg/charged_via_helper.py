@@ -1,0 +1,31 @@
+"""Shape: charging via a helper object.
+
+Lexically both functions violate PAR002/PAR001 (no charge in sight); the
+interprocedural charge oracle resolves ``meter.bump`` to
+:class:`Meter.bump`, which charges through ``self.tracker``, so the
+strict analyzer reports nothing here.
+"""
+
+
+class Meter:
+    def __init__(self, tracker):
+        self.tracker = tracker
+
+    def bump(self, n):
+        self.tracker.add_work(float(n))
+
+
+def process(graph, meter):
+    assert meter.tracker is not None
+    total = 0
+    for v in range(graph.n):
+        meter.bump(1)
+        total += v
+    return total
+
+
+def run_region(tracker, items, meter):
+    with tracker.parallel(len(items)) as region:
+        for _item in items:
+            with region.task():
+                meter.bump(1)

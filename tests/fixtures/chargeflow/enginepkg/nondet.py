@@ -1,0 +1,18 @@
+"""Shape: nondeterminism hazards in cost-accounted code (PAR006 x3)."""
+
+import numpy as np
+
+
+def hazards(values, mapping, tracker):
+    tracker.add_work(1.0)
+    order = np.argsort(values)
+    total = 0
+    for key in set(mapping):
+        total += key
+    rng = np.random.default_rng()
+    return order, total, rng
+
+
+def stable_ok(values, tracker):
+    tracker.add_work(1.0)
+    return np.argsort(values, kind="stable")

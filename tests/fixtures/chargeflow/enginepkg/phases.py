@@ -1,0 +1,9 @@
+"""Shape: a phase-opening orchestrator with one out-of-phase charge."""
+
+
+def orchestrate(items, tracker):
+    with tracker.phase("load"):
+        tracker.add_work(float(len(items)))
+    tracker.add_work(1.0)
+    with tracker.phase("work"):
+        tracker.add_span(1.0)

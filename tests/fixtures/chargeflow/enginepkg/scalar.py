@@ -1,0 +1,9 @@
+"""Scalar oracles for the paired engine fixtures."""
+
+
+def scalar_sum(values, tracker):
+    total = 0.0
+    for v in values:
+        total += float(v)
+        tracker.add_work(1.0)
+    return total

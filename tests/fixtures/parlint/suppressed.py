@@ -5,7 +5,6 @@ def count_degrees(graph, tracker):
     total = 0
     for v in range(graph.n):  # parlint: disable=PAR002
         total += len(graph.neighbors(v))
-    tracker.add_work(float(total))
     return total
 
 

@@ -162,3 +162,84 @@ class TestReporting:
         findings, n_files = lint_paths([FIXTURES])
         assert n_files == len(list(FIXTURES.glob("*.py")))
         assert rules_of(findings) == ["PAR001", "PAR002", "PAR003", "PAR004"]
+
+
+class TestScaleDetection:
+    def test_par002_len_bound_detected(self):
+        source = (
+            "def f(items, tracker):\n"
+            "    for i in range(len(items)):\n"
+            "        visit(i)\n"
+        )
+        assert rules_of(lint_source(source)) == ["PAR002"]
+
+    def test_par002_num_attr_bound_detected(self):
+        source = (
+            "def f(table, tracker):\n"
+            "    for i in range(table.num_cells):\n"
+            "        visit(i)\n"
+        )
+        assert rules_of(lint_source(source)) == ["PAR002"]
+
+    def test_par002_fixed_bound_exempt(self):
+        source = (
+            "def f(tracker):\n"
+            "    for i in range(8):\n"
+            "        visit(i)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_par002_ancestor_block_aggregate_charge_passes(self):
+        # The charge may sit in a sibling branch of an enclosing block
+        # (the contraction pattern: a guarded aggregate charge beside a
+        # guarded loop).
+        source = (
+            "def f(self, graph):\n"
+            "    if self.tracker is not None:\n"
+            "        self.tracker.add_work(float(graph.n))\n"
+            "    if graph.n:\n"
+            "        for v in range(graph.n):\n"
+            "            visit(v)\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestSuppressionHygiene:
+    def test_file_level_disable_silences_every_instance(self):
+        source = (
+            "# parlint: disable-file=PAR002\n"
+            "def f(graph, tracker):\n"
+            "    for v in range(graph.n):\n"
+            "        visit(v)\n"
+            "    for w in range(graph.m):\n"
+            "        visit(w)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_unused_line_suppression_is_reported(self):
+        source = (
+            "def f(graph, tracker):\n"
+            "    for v in range(graph.n):  # parlint: disable=PAR002\n"
+            "        tracker.add_work(1.0)\n"
+        )
+        (finding,) = lint_source(source)
+        assert finding.rule == "UNUSED-SUPPRESSION"
+        assert finding.line == 2
+
+    def test_unused_file_suppression_is_reported(self):
+        source = (
+            "# parlint: disable-file=PAR001\n"
+            "def f():\n"
+            "    return 1\n"
+        )
+        (finding,) = lint_source(source)
+        assert finding.rule == "UNUSED-SUPPRESSION"
+        assert finding.line == 1
+
+    def test_unused_reporting_can_be_disabled(self):
+        source = (
+            "# parlint: disable-file=PAR001\n"
+            "def f():\n"
+            "    return 1\n"
+        )
+        assert lint_source(source, report_unused=False) == []
