@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
+from math import comb
 
 import numpy as np
 
@@ -46,6 +47,10 @@ class Incidence:
 
     def __init__(self, graph: CSRGraph, r: int, s: int,
                  tracker: CostTracker | None = None):
+        self.r = r
+        self.s = s
+        self._members_matrix: np.ndarray | None = None
+        self._incident_csr: tuple[np.ndarray, np.ndarray] | None = None
         dg, _ = orient(graph, "degeneracy", tracker)
         self.r_cliques = [tuple(sorted(int(x) for x in row))
                           for row in collect_cliques(dg, r, tracker)]
@@ -71,6 +76,41 @@ class Incidence:
     def words(self) -> int:
         """Words held by the incidence lists (both directions)."""
         return 2 * sum(len(m) for m in self.members)
+
+    def members_matrix(self) -> np.ndarray:
+        """The member lists as an ``(n_s, comb(s, r))`` int64 array.
+
+        A host-side flat view of :attr:`members` for the batch peeling
+        kernels (cached; building it charges nothing, just as the scalar
+        loop's direct list walks charge nothing for list storage).
+        """
+        if self._members_matrix is None:
+            width = comb(self.s, self.r)
+            if self.n_s:
+                self._members_matrix = np.asarray(
+                    self.members, dtype=np.int64).reshape(self.n_s, width)
+            else:
+                self._members_matrix = np.zeros((0, width), dtype=np.int64)
+        return self._members_matrix
+
+    def incident_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The incident lists in CSR form: ``(offsets, s_clique_ids)``.
+
+        ``s_clique_ids[offsets[i]:offsets[i + 1]]`` equals
+        ``incident[i]`` (ascending s-clique ids, the scalar loop's walk
+        order).  Cached, host-side, charge-free --- see
+        :meth:`members_matrix`.
+        """
+        if self._incident_csr is None:
+            offsets = np.zeros(self.n_r + 1, dtype=np.int64)
+            np.cumsum(self.initial_counts, out=offsets[1:])
+            matrix = self.members_matrix()
+            flat = matrix.reshape(-1)
+            order = np.argsort(flat, kind="stable")
+            ids = np.repeat(np.arange(self.n_s, dtype=np.int64),
+                            matrix.shape[1])[order]
+            self._incident_csr = (offsets, ids)
+        return self._incident_csr
 
 
 def h_index(values) -> int:

@@ -21,6 +21,15 @@ The cost model separates the two variants exactly where the paper does:
 * **PKT-OPT-CPU** precomputes eid arrays (O(1) lookups) and uses hand-tuned
   SIMD-style intersections (discounted per-element cost), which is why it
   overtakes ARB on *large* graphs (the paper measures up to 2.27x).
+
+Each sub-round's frontier is deduplicated before the next sub-round: a
+triangle decrement used to append one frontier entry per decrement, so hot
+edges were processed (and re-skipped) once per duplicate, inflating
+frontier lengths.  The sub-round body comes in two engines: the scalar
+oracle :func:`_pkt_subround_scalar` and the vectorized
+:func:`repro.baselines.batchtruss.pkt_subround_batch`
+(``engine="batch"``), with bit-for-bit simulated-cost parity enforced by
+tests/test_batch_baselines.py and rule PAR007.
 """
 
 from __future__ import annotations
@@ -42,8 +51,10 @@ _REORDER_ROUNDS = 40
 
 def _pkt_like(graph: CSRGraph, name: str, intersection_cost: float,
               eid_binary_search: bool, rescan_per_subround: bool = False,
-              tracker: CostTracker | None = None) -> BaselineResult:
+              tracker: CostTracker | None = None,
+              engine: str = "scalar") -> BaselineResult:
     tracker = tracker or CostTracker()
+    use_batch = engine == "batch" and tracker.race_detector is None
     with tracker.phase("reorder"):
         dg, _ = orient(graph, "degree", tracker)
         # Multi-pass parallel sample sort: extra work plus one barrier per
@@ -55,7 +66,8 @@ def _pkt_like(graph: CSRGraph, name: str, intersection_cost: float,
         support = edge_support(graph, tracker, dg=dg)
         tracker.add_cliques(sum(support.values()) // 3)
     edges = list(support)
-    index = {e: i for i, e in enumerate(edges)}
+    index = None if use_batch else {e: i for i, e in enumerate(edges)}
+    edge_arr = np.asarray(edges, dtype=np.int64).reshape(len(edges), 2)
     # Support decrements are the fetch-and-subs of the real PKT; shadow
     # them (mediated) when a race detector rides along on the tracker.
     sup = maybe_shadow(np.asarray([support[e] for e in edges],
@@ -69,13 +81,9 @@ def _pkt_like(graph: CSRGraph, name: str, intersection_cost: float,
     level = 0
     meter = ContentionMeter()
     log_degree = np.maximum(1.0, np.log2(np.maximum(2, graph.degrees)))
-
-    def live_edge(u, v):
-        # PKT finds the edge id with a binary search over u's adjacency;
-        # PKT-OPT-CPU keeps precomputed eid arrays (constant time).
-        tracker.add_work(log_degree[u] if eid_binary_search else 1.0)
-        i = index[(u, v) if u < v else (v, u)]
-        return i if alive[i] else -1
+    if use_batch:
+        from .batchtruss import build_edge_index, pkt_subround_batch
+        eidx = build_edge_index(edge_arr, graph.n)
 
     with tracker.phase("peel"):
         while remaining:
@@ -84,8 +92,8 @@ def _pkt_like(graph: CSRGraph, name: str, intersection_cost: float,
             level = max(level, int(sup[live].min()))
             tracker.add_work(float(len(edges)))
             tracker.add_span(_log2(len(edges) + 2))
-            frontier = [int(i) for i in live if sup[i] <= level]
-            while frontier:
+            frontier = live[sup[live] <= level]
+            while frontier.size:
                 rounds += 1
                 tracker.add_round()
                 # One bulk-synchronous sub-round; frontier edges process
@@ -95,52 +103,87 @@ def _pkt_like(graph: CSRGraph, name: str, intersection_cost: float,
                     # PKT re-filters the whole edge array every sub-round;
                     # frontier propagation is one of PKT-OPT-CPU's wins.
                     tracker.add_work(float(len(edges)))
-                next_frontier = []
                 for i in frontier:
-                    if not alive[i]:
-                        continue
-                    alive[i] = False
-                    core[edges[i]] = level
-                    remaining -= 1
-                    u, v = edges[i]
-                    nbrs_u = graph.neighbors(u)
-                    nbrs_v = graph.neighbors(v)
-                    common = intersect_sorted(nbrs_u, nbrs_v, tracker=None)
-                    tracker.add_work(
-                        intersection_cost
-                        * float(min(nbrs_u.size, nbrs_v.size)) + 1.0)
-                    for w in map(int, common):
-                        iu = live_edge(u, w)
-                        iv = live_edge(v, w)
-                        if iu < 0 or iv < 0:
-                            continue  # triangle already destroyed
-                        visits += 1
-                        tracker.add_cliques(1)
-                        for other in (iu, iv):
-                            sup[other] -= 1
-                            tracker.add_atomic()
-                            # Raw atomic decrements contend on hot edges
-                            # (no update aggregation, unlike ARB 5.5).
-                            meter.record(other)
-                            if sup[other] <= level:
-                                next_frontier.append(other)
+                    core[edges[int(i)]] = level
+                remaining -= int(frontier.size)
+                if use_batch:
+                    sub_visits, cand = pkt_subround_batch(
+                        frontier, graph, edge_arr, eidx, sup, alive, level,
+                        intersection_cost, eid_binary_search, log_degree,
+                        meter, tracker)
+                else:
+                    sub_visits, cand = _pkt_subround_scalar(
+                        frontier, graph, edges, index, sup, alive, level,
+                        intersection_cost, eid_binary_search, log_degree,
+                        meter, tracker)
+                visits += sub_visits
                 meter.settle(tracker)
-                frontier = [i for i in next_frontier if alive[i]]
+                # Dedup before the next sub-round: each dropped edge is
+                # scheduled once, in ascending id order.
+                cand = np.unique(np.asarray(cand, dtype=np.int64))
+                frontier = cand[alive[cand]]
     return BaselineResult(name, 2, 3, core, tracker, rounds, 1, visits,
                           memory_words=3 * len(edges))
 
 
+def _pkt_subround_scalar(frontier, graph: CSRGraph, edges, index, sup,
+                         alive, level: int, intersection_cost: float,
+                         eid_binary_search: bool, log_degree, meter,
+                         tracker: CostTracker):
+    """Process one frontier sub-round one edge at a time, ascending id.
+
+    The batch engine's registered oracle (PAR007).  Returns
+    ``(triangle_visits, dropped_candidates)``; candidates may repeat and
+    are deduplicated by the driver.
+    """
+    visits = 0
+    cand: list[int] = []
+    for i in frontier:
+        i = int(i)
+        alive[i] = False
+        u, v = edges[i]
+        nbrs_u = graph.neighbors(u)
+        nbrs_v = graph.neighbors(v)
+        common = intersect_sorted(nbrs_u, nbrs_v, tracker=None)
+        tracker.add_work(
+            intersection_cost
+            * float(min(nbrs_u.size, nbrs_v.size)) + 1.0)
+        for w in map(int, common):
+            # PKT finds the edge id with a binary search over the
+            # adjacency array (log deg work); PKT-OPT-CPU keeps
+            # precomputed eid arrays (constant time).
+            tracker.add_work(log_degree[u] if eid_binary_search else 1.0)
+            iu = index[(u, w) if u < w else (w, u)]
+            tracker.add_work(log_degree[v] if eid_binary_search else 1.0)
+            iv = index[(v, w) if v < w else (w, v)]
+            if not alive[iu] or not alive[iv]:
+                continue  # triangle already destroyed
+            visits += 1
+            tracker.add_cliques(1)
+            for other in (iu, iv):
+                sup[other] -= 1
+                tracker.add_atomic()
+                # Raw atomic decrements contend on hot edges
+                # (no update aggregation, unlike ARB 5.5).
+                meter.record(other)
+                if sup[other] <= level:
+                    cand.append(other)
+    return visits, cand
+
+
 def pkt_decomposition(graph: CSRGraph,
-                      tracker: CostTracker | None = None) -> BaselineResult:
+                      tracker: CostTracker | None = None,
+                      engine: str = "scalar") -> BaselineResult:
     """Kabir--Madduri PKT (parallel k-truss)."""
     return _pkt_like(graph, "PKT", intersection_cost=1.0,
                      eid_binary_search=True, rescan_per_subround=True,
-                     tracker=tracker)
+                     tracker=tracker, engine=engine)
 
 
 def pkt_opt_cpu_decomposition(graph: CSRGraph,
-                              tracker: CostTracker | None = None
-                              ) -> BaselineResult:
+                              tracker: CostTracker | None = None,
+                              engine: str = "scalar") -> BaselineResult:
     """Che et al.'s PKT-OPT-CPU (eid arrays + hand-optimized intersections)."""
     return _pkt_like(graph, "PKT-OPT-CPU", intersection_cost=0.35,
-                     eid_binary_search=False, tracker=tracker)
+                     eid_binary_search=False, tracker=tracker,
+                     engine=engine)

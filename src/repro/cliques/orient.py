@@ -84,12 +84,18 @@ def degeneracy_order(graph: CSRGraph, tracker: CostTracker | None = None) -> np.
                 v = candidate
         rank[v] = position
         removed[v] = True
-        for u in graph.neighbors(v):
-            if not removed[u]:
-                degree[u] -= 1
-                buckets[degree[u]].append(int(u))
-                if degree[u] < cursor:
-                    cursor = degree[u]
+        # Decrement the live neighbors in bulk (same per-neighbor push
+        # order and cursor trajectory as the element-wise loop).
+        nbrs = graph.neighbors(v)
+        live = nbrs[~removed[nbrs]]
+        if live.size:
+            degree[live] -= 1
+            dropped = degree[live]
+            dmin = int(dropped.min())
+            if dmin < cursor:
+                cursor = dmin
+            for u, d in zip(live.tolist(), dropped.tolist()):
+                buckets[d].append(u)
     if tracker is not None:
         tracker.add_work(float(graph.n + 2 * graph.m))
         tracker.add_span(float(graph.n + 2 * graph.m))

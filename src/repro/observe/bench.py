@@ -25,8 +25,13 @@ from __future__ import annotations
 import json
 from dataclasses import replace
 
+from ..baselines.msp import msp_decomposition
+from ..baselines.nd import nd_decomposition, pnd_decomposition
+from ..baselines.pkt import pkt_decomposition, pkt_opt_cpu_decomposition
 from ..core.config import NucleusConfig
 from ..core.decomp import arb_nucleus_decomp
+from ..core.densest import k_clique_densest
+from ..core.kcore import k_core
 from ..graph.datasets import load_dataset
 from ..machine.cache import CacheSimulator
 from ..parallel.runtime import CostTracker, MachineModel
@@ -55,9 +60,35 @@ COMPARED_METRICS: dict[str, bool] = {
 
 _PHASE_FIELDS = ("work", "span", "rounds", "contention", "cache_misses")
 
+#: The pinned baseline suite: (baseline, graph).  The ND-family
+#: competitors run on the mid-size dblp surrogate, the truss family and
+#: k-core on the largest (youtube), and the densest-subgraph scan on both
+#: amazon and dblp (its suffix re-listings grow quickly with graph size).
+BASELINE_SUITE: tuple[tuple[str, str], ...] = (
+    ("nd", "dblp"),
+    ("pnd", "dblp"),
+    ("pkt", "youtube"),
+    ("pkt-opt-cpu", "youtube"),
+    ("msp", "youtube"),
+    ("kcore", "youtube"),
+    ("densest", "amazon"),
+    ("densest", "dblp"),
+)
+
+#: Each baseline's hot phase: the one its batch engine vectorizes, whose
+#: wall-clock the engine gate's --min-baseline-speedup floor is over.
+BASELINE_HOT_PHASE: dict[str, str] = {
+    "nd": "peel", "pnd": "peel", "pkt": "peel", "pkt-opt-cpu": "peel",
+    "msp": "peel", "kcore": "peel", "densest": "scan",
+}
+
 
 def entry_key(entry: dict) -> str:
     return f"{entry['graph']}({entry['r']},{entry['s']})"
+
+
+def baseline_entry_key(entry: dict) -> str:
+    return f"{entry['baseline']}@{entry['graph']}"
 
 
 def run_entry(graph_name: str, r: int, s: int,
@@ -144,6 +175,85 @@ def run_suite(machine: MachineModel | None = None,
     }
 
 
+def run_baseline_entry(name: str, graph_name: str,
+                       machine: MachineModel | None = None,
+                       threads: int = BENCH_THREADS,
+                       engine: str = "scalar") -> dict:
+    """Run one pinned baseline and extract its canonical metrics.
+
+    Mirrors :func:`run_entry`: by the batch engines' cost-parity
+    invariant, every *simulated* metric is engine-independent --- only
+    ``wall_clock`` and the ``engine`` tag may differ.
+    """
+    machine = machine or MachineModel()
+    graph = load_dataset(graph_name)
+    tracker = CostTracker()
+    tracker.cache = CacheSimulator()  # exact: sample=1
+    if name == "nd":
+        nd_decomposition(graph, 2, 3, tracker, engine=engine)
+    elif name == "pnd":
+        pnd_decomposition(graph, 2, 3, tracker, engine=engine)
+    elif name == "pkt":
+        pkt_decomposition(graph, tracker, engine=engine)
+    elif name == "pkt-opt-cpu":
+        pkt_opt_cpu_decomposition(graph, tracker, engine=engine)
+    elif name == "msp":
+        msp_decomposition(graph, tracker, engine=engine)
+    elif name == "kcore":
+        k_core(graph, tracker, engine=engine)
+    elif name == "densest":
+        k_clique_densest(graph, 3, tracker, engine=engine)
+    else:
+        raise ValueError(f"unknown baseline {name!r}")
+    t1 = machine.time(tracker, 1)
+    tp = machine.time(tracker, threads)
+    return {
+        "baseline": name, "graph": graph_name,
+        "engine": engine,
+        "hot_phase": BASELINE_HOT_PHASE[name],
+        "wall_clock": {
+            "total": sum(tracker.phase_wall.values()),
+            **{phase: seconds
+               for phase, seconds in sorted(tracker.phase_wall.items())},
+        },
+        "work": tracker.total.work,
+        "span": tracker.span,
+        "rho": tracker.total.rounds,
+        "rounds": tracker.total.rounds,
+        "atomic_ops": tracker.total.atomic_ops,
+        "contention": tracker.total.contention,
+        "cliques": tracker.total.cliques_enumerated,
+        "cache_accesses": tracker.cache.accesses,
+        "cache_misses": tracker.cache.misses,
+        "T1": t1, "T60": tp, "speedup": t1 / tp,
+        "phases": {
+            phase: {field: getattr(stats, field)
+                    for field in _PHASE_FIELDS}
+            for phase, stats in tracker.phases.items()
+        },
+    }
+
+
+def run_baseline_suite(machine: MachineModel | None = None,
+                       threads: int = BENCH_THREADS,
+                       suite: tuple[tuple[str, str], ...] | None = None,
+                       progress=None,
+                       engine: str = "scalar") -> list[dict]:
+    """Run the pinned baseline suite; returns the entry list (stored
+    under the main payload's ``"baselines"`` key by the trajectory
+    tool)."""
+    if suite is None:
+        suite = BASELINE_SUITE  # resolved at call time (tests shrink it)
+    machine = machine or MachineModel()
+    entries = []
+    for name, graph_name in suite:
+        if progress is not None:
+            progress(f"bench baseline: {name} @ {graph_name} [{engine}]")
+        entries.append(run_baseline_entry(name, graph_name, machine,
+                                          threads, engine=engine))
+    return entries
+
+
 def write_payload(payload: dict, path) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
@@ -164,29 +274,37 @@ def compare(current: dict, baseline: dict,
     baseline --- grows for lower-is-better metrics (work, span, rho, times,
     contention, cache misses), shrinks for speedup.  Entries present in
     the baseline but missing from the current run are regressions;
-    entries new in the current run are not.
+    entries new in the current run are not.  The optional ``"baselines"``
+    section (the competitor suite) is compared the same way, but only
+    when both payloads record it (the engine gate's listing payload,
+    for example, carries no baseline section).
     """
-    base_by_key = {entry_key(e): e for e in baseline.get("suite", [])}
-    cur_by_key = {entry_key(e): e for e in current.get("suite", [])}
     regressions = []
-    for key, base in base_by_key.items():
-        cur = cur_by_key.get(key)
-        if cur is None:
-            regressions.append(f"{key}: entry missing from current run")
+    sections = (("suite", entry_key), ("baselines", baseline_entry_key))
+    for section, key_of in sections:
+        if section not in current or section not in baseline:
             continue
-        for metric, lower_is_better in COMPARED_METRICS.items():
-            if metric not in base or metric not in cur:
+        base_by_key = {key_of(e): e for e in baseline.get(section, [])}
+        cur_by_key = {key_of(e): e for e in current.get(section, [])}
+        for key, base in base_by_key.items():
+            cur = cur_by_key.get(key)
+            if cur is None:
+                regressions.append(f"{key}: entry missing from current run")
                 continue
-            old, new = float(base[metric]), float(cur[metric])
-            scale = abs(old) if old else 1.0
-            if lower_is_better:
-                worsened = new - old > tolerance * scale
-            else:
-                worsened = old - new > tolerance * scale
-            if worsened:
-                direction = "rose" if lower_is_better else "fell"
-                regressions.append(
-                    f"{key}: {metric} {direction} {old:.6g} -> {new:.6g} "
-                    f"({100.0 * (new - old) / scale:+.1f}%, "
-                    f"tolerance {100.0 * tolerance:.1f}%)")
+            for metric, lower_is_better in COMPARED_METRICS.items():
+                if metric not in base or metric not in cur:
+                    continue
+                old, new = float(base[metric]), float(cur[metric])
+                scale = abs(old) if old else 1.0
+                if lower_is_better:
+                    worsened = new - old > tolerance * scale
+                else:
+                    worsened = old - new > tolerance * scale
+                if worsened:
+                    direction = "rose" if lower_is_better else "fell"
+                    regressions.append(
+                        f"{key}: {metric} {direction} "
+                        f"{old:.6g} -> {new:.6g} "
+                        f"({100.0 * (new - old) / scale:+.1f}%, "
+                        f"tolerance {100.0 * tolerance:.1f}%)")
     return regressions

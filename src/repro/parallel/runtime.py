@@ -252,6 +252,63 @@ class CostTracker:
             seq[0] = stats.work_frac
             stats.work_frac = float(np.add.accumulate(seq)[-1])
 
+    def add_work_sequence(self, amounts) -> None:
+        """Charge an ordered batch of work amounts, one :meth:`add_work`
+        call per element, bit for bit.
+
+        The two bins are independent, so the batch form splits the stream:
+        integer-valued elements collapse into one exact int-bin sum, and
+        the fractional elements are replayed sequentially (in their
+        original relative order) through ``np.add.accumulate``, exactly as
+        a Python loop of :meth:`add_work` calls would accumulate them.
+        This is how the batch baseline engines reproduce interleaved
+        per-triangle charge streams such as PKT's
+        ``intersection, log-degree, log-degree, ...`` without a Python
+        loop (docs/cost-model.md).
+        """
+        arr = np.asarray(amounts, dtype=np.float64)
+        if arr.size == 0:
+            return
+        int_mask = arr == np.floor(arr)
+        if int_mask.any():
+            self.add_work_int(int(arr[int_mask].astype(np.int64).sum()))
+        frac = arr[~int_mask]
+        if frac.size == 0:
+            return
+        seq = np.empty(frac.size + 1, dtype=np.float64)
+        seq[1:] = frac
+        seq[0] = self.total.work_frac
+        self.total.work_frac = float(np.add.accumulate(seq)[-1])
+        if self._phase_stack:
+            stats = self.phases[self._phase_stack[-1]]
+            seq[0] = stats.work_frac
+            stats.work_frac = float(np.add.accumulate(seq)[-1])
+
+    def add_span_sequence(self, amounts) -> None:
+        """Charge an ordered batch of span amounts, one :meth:`add_span`
+        call per element, bit for bit.
+
+        Span has no exact integer bin (the critical path is one float
+        accumulator), so the whole sequence is replayed sequentially with
+        ``np.add.accumulate`` --- once seeded from the current frame's
+        span, and, when the charge reaches the root frame inside a phase,
+        once more seeded from the phase's span tally.  Batch baseline
+        engines use this to reproduce per-peel span streams such as PND's
+        ``16, log2(touched + 2), ...`` exactly.
+        """
+        arr = np.asarray(amounts, dtype=np.float64)
+        if arr.size == 0:
+            return
+        seq = np.empty(arr.size + 1, dtype=np.float64)
+        seq[1:] = arr
+        frame = self._frames[-1]
+        seq[0] = frame.span
+        frame.span = float(np.add.accumulate(seq)[-1])
+        if self._phase_stack and len(self._frames) == 1:
+            stats = self.phases[self._phase_stack[-1]]
+            seq[0] = stats.span
+            stats.span = float(np.add.accumulate(seq)[-1])
+
     def add_span(self, amount: float) -> None:
         """Charge span to the current frame.
 

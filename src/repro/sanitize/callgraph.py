@@ -31,7 +31,8 @@ from pathlib import Path
 
 #: The real charge methods of :class:`repro.parallel.runtime.CostTracker`.
 TRACKER_CHARGE_METHODS = frozenset({
-    "add_work", "add_work_int", "add_work_frac_repeated", "add_span",
+    "add_work", "add_work_int", "add_work_frac_repeated",
+    "add_work_sequence", "add_span", "add_span_sequence",
     "task_span", "add_round", "add_atomic", "add_contention", "add_cliques",
     "add_probes", "access", "access_sequence",
 })
@@ -40,6 +41,8 @@ TRACKER_CHARGE_METHODS = frozenset({
 NORMALIZED_METHOD = {
     "add_work_int": "add_work",
     "add_work_frac_repeated": "add_work",
+    "add_work_sequence": "add_work",
+    "add_span_sequence": "add_span",
     "task_span": "add_span",
     "access_sequence": "access",
 }

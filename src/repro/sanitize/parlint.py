@@ -64,13 +64,15 @@ RULES = {
 
 #: Methods whose call constitutes a cost charge.
 _CHARGE_METHODS = frozenset({
-    "add_work", "add_work_int", "add_work_frac_repeated", "add_span",
+    "add_work", "add_work_int", "add_work_frac_repeated",
+    "add_work_sequence", "add_span", "add_span_sequence",
     "add_round", "add_atomic", "add_contention", "add_cliques", "add_probes",
     "access", "access_sequence", "task_span", "_charge", "charge",
 })
 #: The subset that satisfies PAR001 (the region must cost work or span).
 _REGION_CHARGE_METHODS = frozenset({
-    "add_work", "add_work_int", "add_work_frac_repeated", "add_span",
+    "add_work", "add_work_int", "add_work_frac_repeated",
+    "add_work_sequence", "add_span", "add_span_sequence",
     "task_span", "_charge", "charge",
 })
 #: Attributes that mark an iteration bound as graph-scale (PAR002).

@@ -83,7 +83,9 @@ class TestRealTree:
         engine = sorted((m for m in project.modules.values()
                          if is_engine_module(m)), key=lambda m: m.name)
         assert [m.name for m in engine] == [
-            "repro.cliques.batchlist", "repro.core.batchpeel"]
+            "repro.baselines.batchnd", "repro.baselines.batchtruss",
+            "repro.cliques.batchlist", "repro.core.batchcore",
+            "repro.core.batchpeel"]
         for module in engine:
             kernels = tracked_kernels(project, summaries, module)
             assert kernels, module.name

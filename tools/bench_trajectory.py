@@ -48,14 +48,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="clique-listing implementation for the suite "
                              "run")
     parser.add_argument("--engine-gate", action="store_true",
-                        help="run the suite under BOTH engines (plus a "
-                             "batch-listing run), require bit-for-bit "
-                             "identical simulated metrics, a batch peel "
-                             "wall-clock speedup of at least --min-speedup "
-                             "and a batch-listing count-phase speedup of "
-                             "at least --min-listing-speedup; writes the "
-                             "scalar payload to --output and the batch / "
-                             "listing payloads next to it")
+                        help="run the suite AND the baseline suite under "
+                             "BOTH engines (plus a batch-listing run), "
+                             "require bit-for-bit identical simulated "
+                             "metrics, a batch peel wall-clock speedup of "
+                             "at least --min-speedup, a batch-listing "
+                             "count-phase speedup of at least "
+                             "--min-listing-speedup and a baseline "
+                             "hot-phase speedup of at least "
+                             "--min-baseline-speedup; writes the scalar "
+                             "payload to --output and the batch / listing "
+                             "payloads next to it")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="minimum suite-total peel wall-clock speedup "
                              "the batch engine must reach in --engine-gate "
@@ -65,6 +68,11 @@ def main(argv: list[str] | None = None) -> int:
                              "speedup the batch listing engine must reach "
                              "in --engine-gate mode (default 1.0: strictly "
                              "faster)")
+    parser.add_argument("--min-baseline-speedup", type=float, default=1.0,
+                        help="minimum baseline-suite hot-phase wall-clock "
+                             "speedup the batch baseline engines must "
+                             "reach in --engine-gate mode (default 1.0: "
+                             "strictly faster)")
     args = parser.parse_args(argv)
 
     # Load the baseline up front: --output may name the same file.
@@ -73,12 +81,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.engine_gate:
         return _engine_gate(args, baseline)
 
+    progress = lambda msg: print(msg, flush=True)  # noqa: E731
     payload = bench.run_suite(threads=args.threads, label=args.label,
-                              progress=lambda msg: print(msg, flush=True),
+                              progress=progress,
                               engine=args.engine,
                               listing_engine=args.listing_engine)
+    payload["baselines"] = bench.run_baseline_suite(
+        threads=args.threads, progress=progress, engine=args.engine)
     bench.write_payload(payload, args.output)
-    print(f"wrote {len(payload['suite'])} suite entries to {args.output}")
+    print(f"wrote {len(payload['suite'])} suite entries and "
+          f"{len(payload['baselines'])} baseline entries to {args.output}")
 
     if baseline is not None:
         regressions = bench.compare(payload, baseline,
@@ -107,17 +119,24 @@ def _phase_wall_total(payload: dict, phase: str) -> float:
 
 
 def _parity_failures(reference: dict, candidate: dict,
-                     label: str) -> list[str]:
+                     label: str, section: str = "suite") -> list[str]:
     """Bit-for-bit simulated-metric differences between two suite runs."""
+    key_of = bench.entry_key if section == "suite" \
+        else bench.baseline_entry_key
     failures = []
-    for ref_entry, cand_entry in zip(reference["suite"], candidate["suite"]):
-        key = bench.entry_key(ref_entry)
+    for ref_entry, cand_entry in zip(reference[section], candidate[section]):
+        key = key_of(ref_entry)
         if _simulated_view(ref_entry) != _simulated_view(cand_entry):
             diffs = [k for k in _simulated_view(ref_entry)
                      if ref_entry.get(k) != cand_entry.get(k)]
             failures.append(f"{key}: simulated metrics differ between "
                             f"{label} in fields {diffs}")
     return failures
+
+
+def _baseline_hot_total(payload: dict) -> float:
+    return sum(e["wall_clock"].get(e["hot_phase"], 0.0)
+               for e in payload["baselines"])
 
 
 def _engine_gate(args, baseline) -> int:
@@ -131,6 +150,10 @@ def _engine_gate(args, baseline) -> int:
     listing = bench.run_suite(threads=args.threads, label=args.label,
                               progress=progress, engine="batch",
                               listing_engine="batch")
+    scalar["baselines"] = bench.run_baseline_suite(
+        threads=args.threads, progress=progress, engine="scalar")
+    batch["baselines"] = bench.run_baseline_suite(
+        threads=args.threads, progress=progress, engine="batch")
     bench.write_payload(scalar, args.output)
     root, ext = os.path.splitext(args.output)
     batch_path = f"{root}.batch{ext or '.json'}"
@@ -142,6 +165,8 @@ def _engine_gate(args, baseline) -> int:
 
     failures = _parity_failures(scalar, batch, "peel engines")
     failures += _parity_failures(scalar, listing, "listing engines")
+    failures += _parity_failures(scalar, batch, "baseline engines",
+                                 section="baselines")
     scalar_peel = _phase_wall_total(scalar, "peel")
     batch_peel = _phase_wall_total(batch, "peel")
     ratio = scalar_peel / batch_peel if batch_peel > 0 else float("inf")
@@ -161,6 +186,16 @@ def _engine_gate(args, baseline) -> int:
         failures.append(f"batch listing count-phase speedup "
                         f"x{listing_ratio:.2f} below the required "
                         f"x{args.min_listing_speedup:.2f}")
+    scalar_hot = _baseline_hot_total(scalar)
+    batch_hot = _baseline_hot_total(batch)
+    baseline_ratio = scalar_hot / batch_hot if batch_hot > 0 \
+        else float("inf")
+    print(f"baseline-suite hot-phase wall-clock: scalar {scalar_hot:.3f}s, "
+          f"batch {batch_hot:.3f}s (speedup x{baseline_ratio:.2f})")
+    if baseline_ratio < args.min_baseline_speedup:
+        failures.append(f"batch baseline hot-phase speedup "
+                        f"x{baseline_ratio:.2f} below the required "
+                        f"x{args.min_baseline_speedup:.2f}")
 
     if baseline is not None:
         for name, payload in (("scalar", scalar), ("batch", batch),
@@ -176,7 +211,8 @@ def _engine_gate(args, baseline) -> int:
         return 1
     print("engine gate passed: identical simulated metrics, batch peel "
           f"x{ratio:.2f} faster, batch listing count phase "
-          f"x{listing_ratio:.2f} faster")
+          f"x{listing_ratio:.2f} faster, batch baselines "
+          f"x{baseline_ratio:.2f} faster")
     return 0
 
 
