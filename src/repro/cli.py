@@ -16,8 +16,9 @@ Subcommands::
 runs ARB-NUCLEUS-DECOMP, and prints summary statistics, the core-number
 histogram, and optionally every r-clique's core number.  ``lint`` runs the
 parlint cost-accounting rules (PAR001--PAR004; with ``--strict`` the
-interprocedural charge-flow analyzer adds PAR005--PAR008 and the
-batch/scalar parity registry) and ``sanitize`` drives the dynamic race
+interprocedural charge-flow analyzer adds PAR005--PAR011: the
+batch/scalar parity registry plus the static race, atomic-commutativity,
+and race-coverage rules) and ``sanitize`` drives the dynamic race
 detector over the main algorithm and the baselines.
 ``bench`` runs the pinned perf-trajectory suite (optionally gating on a
 baseline) and ``profile`` runs one decomposition under the trace recorder,
@@ -133,8 +134,11 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    if args.explain:
+        from .sanitize import chargeflow
+        return chargeflow.main(["--explain", args.explain])
     if args.strict or args.sarif is not None or args.baseline \
-            or args.emit_registry:
+            or args.emit_registry or args.race_tests:
         from .sanitize import chargeflow
         root = args.paths[0] if args.paths else "src/repro"
         argv = [root]
@@ -147,6 +151,8 @@ def _cmd_lint(args) -> int:
             argv += ["--baseline", args.baseline]
         if args.emit_registry:
             argv.append("--emit-registry")
+        if args.race_tests:
+            argv += ["--race-tests", args.race_tests]
         return chargeflow.main(argv)
     from .sanitize.parlint import lint_paths, report_json
     findings, n_files = lint_paths(args.paths)
@@ -308,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint",
                        help="run the parlint cost-accounting rules "
                             "(--strict: interprocedural charge-flow "
-                            "analyzer, PAR001-PAR008)")
+                            "analyzer, PAR001-PAR011)")
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories (with --strict: one "
                         "package directory; default src/repro)")
@@ -316,7 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a machine-readable JSON report")
     p.add_argument("--strict", action="store_true",
                    help="run the interprocedural charge-flow analyzer "
-                        "(call graph + summaries + PAR005-PAR008)")
+                        "(call graph + summaries + PAR005-PAR011)")
+    p.add_argument("--explain", metavar="RULE",
+                   help="print the rule-catalog entry for PARxxx and exit")
+    p.add_argument("--race-tests", metavar="DIR", dest="race_tests",
+                   help="directory of test files whose RACECHECK_COVERS "
+                        "stamps satisfy PAR011 (implies --strict)")
     p.add_argument("--sarif", metavar="FILE", nargs="?", const="-",
                    help="write a SARIF 2.1.0 report (implies --strict; "
                         "default stdout)")

@@ -288,7 +288,12 @@ def _run_round(peel_cells, comb_cols, dg, working, table, aggregator,
     update_cells = cells[update_rows][alive_sel]  # row-major: scalar order
     update_row_of = np.repeat(update_rows, alive_sel.sum(axis=1))
     n_updates = update_cells.size
-    count_addrs = table.add_count_at_many(
+    # PAR010 waiver: row_delta (-1/n_peeling) is the batch replay of the
+    # scalar engine's fractional delta --- order-dependent in float
+    # arithmetic, but np.add.at applies it in fixed row-major order and
+    # every consumer re-rounds with np.rint, so the engine-parity gate
+    # (bit-for-bit batch == scalar metrics) already pins the result.
+    count_addrs = table.add_count_at_many(  # parlint: disable=PAR010
         update_cells, row_delta[update_row_of],
         collect_addresses=cache_on)
 

@@ -8,13 +8,20 @@ Pipeline, per run:
 2. :func:`~repro.sanitize.summaries.compute_summaries` runs the monotone
    fixpoint that gives every function its transitive tracker-charge set
    and stamps every call site with a charging verdict.
-3. Per module, the lexical linter (PAR001--PAR004) runs with the
+3. :func:`~repro.sanitize.effects.analyze_effects` runs the static
+   parallel-effect analysis once for the whole project (region/task
+   read-write sets, atomic/ownership proofs, race-coverage stamps).
+4. Per module, the lexical linter (PAR001--PAR004) runs with the
    summary-derived *charge oracle*, so charging-via-helper needs no
-   suppression; then the interprocedural rules PAR005--PAR008 run
+   suppression; then the interprocedural rules PAR005--PAR011 run
    (:mod:`~repro.sanitize.rules`), including the ``PARLINT_PARITY``
-   batch/scalar registry checks.
-4. Inline/file-level suppressions are applied (unused ones reported),
+   batch/scalar registry checks and the per-module slice of the
+   effects report.
+5. Inline/file-level suppressions are applied (unused ones reported),
    then the optional committed baseline (stale entries reported).
+   Coverage-stamp diagnostics (PAR011 entries pointing at test files)
+   are appended last --- they live outside the analyzed package, so
+   inline suppressions do not apply to them.
 
 Exit status is 1 when any finding survives, 0 otherwise --- CI's
 ``lint-strict`` job runs this over ``src/repro`` with the committed
@@ -24,12 +31,15 @@ baseline and uploads the SARIF report.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from . import parlint
 from .callgraph import Project, build_project
+from .catalog import explain as explain_rule
+from .effects import EffectsReport, analyze_effects
 from .registry import collect_registry, is_engine_module, render_registry
 from .reporters import apply_baseline, load_baseline, report_json, report_sarif
 from .rules import run_strict_rules
@@ -42,6 +52,7 @@ class AnalysisResult:
     n_files: int
     project: Project
     summaries: dict[str, Summary] = field(default_factory=dict)
+    effects: EffectsReport | None = None
 
     def scope_of(self, finding: parlint.Finding) -> str:
         """Qualname of the function enclosing a finding (baseline key)."""
@@ -52,12 +63,29 @@ class AnalysisResult:
         return "<module>"
 
 
+def _default_tests_dir(root: Path) -> Path | None:
+    """Race-coverage stamps are only auto-discovered for the canonical
+    ``<repo>/src/<package>`` layout --- fixture packages analyzed from
+    arbitrary directories keep PAR011 off unless a *tests_dir* is passed
+    explicitly, so their expected finding sets stay exact."""
+    if root.parent.name == "src":
+        candidate = root.parent.parent / "tests"
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
 def analyze(root: str | Path,
-            overlay: dict[str, str] | None = None) -> AnalysisResult:
+            overlay: dict[str, str] | None = None,
+            tests_dir: str | Path | None = None) -> AnalysisResult:
     """Run the full analyzer over a package directory."""
+    root = Path(root).resolve()
     project = build_project(root, overlay=overlay)
     summaries = compute_summaries(project)
     registry, registry_errors = collect_registry(project)
+    if tests_dir is None:
+        tests_dir = _default_tests_dir(root)
+    effects = analyze_effects(project, tests_dir=tests_dir)
     findings: list[parlint.Finding] = []
     for name in sorted(project.modules):
         module = project.modules[name]
@@ -68,18 +96,20 @@ def analyze(root: str | Path,
         linter.visit(module.tree)
         raw = linter.findings
         raw += run_strict_rules(project, summaries, module, registry,
-                                registry_errors)
+                                registry_errors, effects=effects)
         findings += parlint._apply_suppressions(
             raw, module.source, module.path, report_unused=True)
+    findings += effects.stamp_findings
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return AnalysisResult(findings, len(project.modules), project, summaries)
+    return AnalysisResult(findings, len(project.modules), project, summaries,
+                          effects=effects)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="chargeflow",
         description="interprocedural charge-flow analyzer for the "
-                    "simulated parallel machine (rules PAR001-PAR008)")
+                    "simulated parallel machine (rules PAR001-PAR011)")
     parser.add_argument("root", nargs="?", default="src/repro",
                         help="package directory to analyze "
                              "(default: src/repro)")
@@ -92,13 +122,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--emit-registry", action="store_true",
                         help="print PARLINT_PARITY templates for every "
                              "engine module and exit")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print the rule-catalog entry for PARxxx "
+                             "and exit")
+    parser.add_argument("--race-tests", metavar="DIR",
+                        help="directory of test_*.py files whose "
+                             "RACECHECK_COVERS stamps PAR011 checks "
+                             "(default: <root>/../../tests for src "
+                             "layouts)")
     args = parser.parse_args(argv)
+
+    if args.explain:
+        text = explain_rule(args.explain)
+        if text is None:
+            print(f"chargeflow: unknown rule {args.explain!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            print(text)
+        except BrokenPipeError:
+            # Piped into `head`/quit-early `less`; silence the flush at
+            # interpreter exit too.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
     root = Path(args.root)
     if not root.is_dir():
         print(f"chargeflow: {root} is not a directory", file=sys.stderr)
         return 2
-    result = analyze(root)
+    result = analyze(root, tests_dir=args.race_tests)
 
     if args.emit_registry:
         for name in sorted(result.project.modules):

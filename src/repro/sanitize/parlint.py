@@ -437,17 +437,25 @@ class _Suppressions:
             return True
         return False
 
-    def unused(self, path: str) -> list[Finding]:
+    def unused(self, path: str,
+               checked_rules: frozenset | None = None) -> list[Finding]:
         """Suppression comments that silenced nothing (so the committed
-        set cannot rot as the code underneath is fixed)."""
+        set cannot rot as the code underneath is fixed).  A run that only
+        checks a subset of rules (*checked_rules*) cannot judge
+        suppressions of the others --- the lexical-only pass must not
+        call a strict-rule waiver stale."""
         stale = []
         for line, (rules, fired) in sorted(self.by_line.items()):
             for rule in sorted(rules - fired):
+                if checked_rules is not None and rule not in checked_rules:
+                    continue
                 stale.append(Finding(
                     "UNUSED-SUPPRESSION", path, line, 0,
                     f"suppression of {rule} matches no finding; remove it"))
         for rule, (line, was_used) in sorted(self.file_level.items()):
             if not was_used:
+                if checked_rules is not None and rule not in checked_rules:
+                    continue
                 stale.append(Finding(
                     "UNUSED-SUPPRESSION", path, line, 0,
                     f"file-level suppression of {rule} matches no finding; "
@@ -456,11 +464,13 @@ class _Suppressions:
 
 
 def _apply_suppressions(findings: list[Finding], source: str, path: str,
-                        report_unused: bool = True) -> list[Finding]:
+                        report_unused: bool = True,
+                        checked_rules: frozenset | None = None
+                        ) -> list[Finding]:
     suppressions = _Suppressions(source)
     kept = [f for f in findings if not suppressions.suppresses(f)]
     if report_unused:
-        kept.extend(suppressions.unused(path))
+        kept.extend(suppressions.unused(path, checked_rules))
     return kept
 
 
@@ -468,13 +478,18 @@ def lint_source(source: str, path: str = "<string>",
                 charge_oracle: frozenset | None = None,
                 region_oracle: frozenset | None = None,
                 report_unused: bool = True) -> list[Finding]:
-    """Lint one source string; returns surviving findings."""
+    """Lint one source string; returns surviving findings.
+
+    This lexical-only entry point checks PAR001--PAR004, so it only
+    reports unused suppressions for those rules; strict-rule waivers are
+    policed by the chargeflow run that can actually match them."""
     tree = ast.parse(source, filename=path)
     linter = _Linter(path, charge_oracle=charge_oracle,
                      region_oracle=region_oracle)
     linter.visit(tree)
     return _apply_suppressions(linter.findings, source, path,
-                               report_unused=report_unused)
+                               report_unused=report_unused,
+                               checked_rules=frozenset(RULES))
 
 
 def lint_file(path: str | Path) -> list[Finding]:

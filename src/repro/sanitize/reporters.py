@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from .catalog import CATALOG
 from .parlint import RULES as LEXICAL_RULES
 from .parlint import Finding
 from .rules import STRICT_RULES
@@ -47,11 +48,20 @@ def report_sarif(findings: list[Finding], base: str | Path = ".") -> str:
     possible (SARIF URIs should not leak absolute build paths)."""
     base = Path(base).resolve()
     rule_ids = sorted({f.rule for f in findings} | set(ALL_RULES))
-    rules = [{
-        "id": rule_id,
-        "shortDescription": {
-            "text": ALL_RULES.get(rule_id, "analyzer diagnostic")},
-    } for rule_id in rule_ids]
+    rules = []
+    for rule_id in rule_ids:
+        info = CATALOG.get(rule_id)
+        entry = {
+            "id": rule_id,
+            "shortDescription": {
+                "text": info.title if info
+                else ALL_RULES.get(rule_id, "analyzer diagnostic")},
+        }
+        if info is not None:
+            entry["fullDescription"] = {
+                "text": " ".join(info.explain.split())}
+            entry["helpUri"] = info.help_uri
+        rules.append(entry)
     index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
     results = []
     for f in findings:

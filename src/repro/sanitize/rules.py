@@ -1,4 +1,4 @@
-"""The interprocedural rules PAR005--PAR008.
+"""The interprocedural rules PAR005--PAR011.
 
 These run on top of the call graph (:mod:`~repro.sanitize.callgraph`)
 and the charge summaries (:mod:`~repro.sanitize.summaries`); the lexical
@@ -24,6 +24,15 @@ the summary-derived charge oracle by :mod:`~repro.sanitize.chargeflow`.
     A charge issued outside any ``tracker.phase(...)`` /
     ``tracker.parallel(...)`` attribution scope in a function that opens
     phases: such charges corrupt ``MachineModel.time_breakdown``.
+``PAR009`` / ``PAR010`` / ``PAR011``
+    The static parallel-effect rules.  The heavy lifting happens in
+    :mod:`~repro.sanitize.effects` (one pass over the whole project);
+    the check functions here slice that report per module so findings
+    flow through the same suppression/baseline machinery as every other
+    rule.  PAR009 flags a potential static race in a parallel region,
+    PAR010 an atomic accumulation with an order-dependent operand, and
+    PAR011 a region with shared writes that no ``RACECHECK_COVERS``
+    stamp in the test suite reaches.
 """
 
 from __future__ import annotations
@@ -40,6 +49,9 @@ STRICT_RULES = {
     "PAR006": "nondeterminism hazard in cost-accounted code",
     "PAR007": "batch/scalar parity registry violation",
     "PAR008": "charge outside any phase/parallel attribution scope",
+    "PAR009": "potential static race in a parallel region",
+    "PAR010": "non-commutative atomic accumulation",
+    "PAR011": "parallel region without dynamic race coverage",
 }
 
 
@@ -260,13 +272,42 @@ def check_par008(project: Project, summaries: dict,
     return findings
 
 
+# ---------------------------------------------------------------------------
+# PAR009 / PAR010 / PAR011 (sliced from the project-wide effects report)
+
+
+def _effects_slice(effects, module: ModuleInfo, rule: str) -> list[Finding]:
+    if effects is None:
+        return []
+    return [f for f in effects.findings
+            if f.rule == rule and f.path == module.path]
+
+
+def check_par009(project: Project, effects,
+                 module: ModuleInfo) -> list[Finding]:
+    return _effects_slice(effects, module, "PAR009")
+
+
+def check_par010(project: Project, effects,
+                 module: ModuleInfo) -> list[Finding]:
+    return _effects_slice(effects, module, "PAR010")
+
+
+def check_par011(project: Project, effects,
+                 module: ModuleInfo) -> list[Finding]:
+    return _effects_slice(effects, module, "PAR011")
+
+
 def run_strict_rules(project: Project, summaries: dict,
                      module: ModuleInfo, registry: dict,
-                     registry_errors: list) -> list[Finding]:
+                     registry_errors: list, effects=None) -> list[Finding]:
     findings = []
     findings += check_par005(project, summaries, module)
     findings += check_par006(project, summaries, module)
     findings += check_par007(project, summaries, module, registry,
                              registry_errors)
     findings += check_par008(project, summaries, module)
+    findings += check_par009(project, effects, module)
+    findings += check_par010(project, effects, module)
+    findings += check_par011(project, effects, module)
     return findings

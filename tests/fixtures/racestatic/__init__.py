@@ -1,0 +1,16 @@
+"""Fixture package for the static parallel-effect analyzer tests.
+
+Each module holds one shape the analyzer must classify correctly:
+
+* ``racy``     --- a helper-mediated write to a constant slot (PAR009)
+* ``disjoint`` --- per-task writes indexed by the task variable (clean)
+* ``mediated`` --- non-disjoint writes into an atomic ShadowArray (clean)
+* ``accum``    --- an atomic accumulation with a fractional delta (PAR010)
+* ``covered``  --- a stamped region with shared writes (clean)
+* ``uncovered``--- the same shape without a stamp (PAR011)
+
+The modules are analyzed statically by tests/test_race_static.py; they
+are never imported or executed.  Coverage stamps live in
+``stamps/test_stamps.py`` so the analyzer can be pointed at them with an
+explicit ``tests_dir``.
+"""

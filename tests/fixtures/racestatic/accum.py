@@ -1,0 +1,36 @@
+"""A race-free but order-dependent atomic accumulation (PAR010).
+
+``CountTable.bump`` is both detector-instrumented and an accumulator
+(``add_atomic`` charge + subscript ``+=``), so the write itself is
+mediated and PAR009 stays quiet --- but the delta reaching the call site
+is computed with a true division, so the accumulated float total depends
+on task interleaving and PAR010 fires at the call.  The mutation gate in
+test_race_static.py switches the delta to an integral value, which must
+silence the finding.
+"""
+
+import numpy as np
+
+
+class CountTable:
+    def __init__(self, cells, tracker, detector=None):
+        self.counts = np.zeros(cells)
+        self.tracker = tracker
+        self.detector = detector
+
+    def bump(self, cell, delta):
+        if self.detector is not None:
+            self.detector.log(cell, write=True, atomic=True)
+        self.tracker.add_atomic(1.0)
+        self.counts[cell] += delta
+
+
+def run(tracker, weights, n):
+    table = CountTable(3, tracker)
+    with tracker.parallel(n) as region:
+        for t in range(n):
+            with region.task():
+                tracker.add_work(1.0)
+                delta = 1.0 / float(weights[t])
+                table.bump(t % 3, delta)
+    return table

@@ -1,0 +1,21 @@
+"""A shared-writing region that the stamps file covers (PAR011 clean).
+
+Same disjoint-write shape as ``uncovered``; the only difference is the
+``racestatic.covered.run`` stamp in stamps/test_stamps.py.
+"""
+
+import numpy as np
+
+
+def _write_slot(out, i, value):
+    out[i] = value
+
+
+def run(tracker, n):
+    out = np.zeros(n)
+    with tracker.parallel(n) as region:
+        for t in range(n):
+            with region.task():
+                tracker.add_work(1.0)
+                _write_slot(out, t, 1.0)
+    return out

@@ -1,0 +1,24 @@
+"""Task-disjoint writes: each task owns its own cell.
+
+The index flowing into the helper is the task-loop variable ``t``, so
+the helper's index parameter joins the basis and the write is proven
+disjoint --- no finding.  The mutation gate in test_race_static.py
+replaces the index with a data-dependent expression (``int(data[t])``),
+which breaks the proof and must flip a PAR009.
+"""
+
+import numpy as np
+
+
+def _store(out, i, value):
+    out[i] = value
+
+
+def run(tracker, data, n):
+    out = np.zeros(n)
+    with tracker.parallel(n) as region:
+        for t in range(n):
+            with region.task():
+                tracker.add_work(1.0)
+                _store(out, t, float(data[t]))
+    return out

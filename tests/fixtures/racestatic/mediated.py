@@ -1,0 +1,27 @@
+"""Atomic-mediated writes: non-disjoint index, but atomic storage.
+
+The stamp array is a ShadowArray created with ``atomic=True``, so the
+classification lattice proves every write mediated even though the
+index ``(t + 1) % n`` mentions the non-basis name ``n`` and is not
+provably disjoint.  The mutation gate in test_race_static.py deletes
+the ``atomic=True`` argument, which degrades the class to plain and
+must flip a PAR009.
+"""
+
+import numpy as np
+
+from repro.sanitize.racecheck import maybe_shadow
+
+
+def _mark(stamp, slot):
+    stamp[slot] = 1
+
+
+def run(tracker, n):
+    stamp = maybe_shadow(np.zeros(n), tracker, atomic=True, label="stamp")
+    with tracker.parallel(n) as region:
+        for t in range(n):
+            with region.task():
+                tracker.add_work(1.0)
+                _mark(stamp, (t + 1) % n)
+    return stamp

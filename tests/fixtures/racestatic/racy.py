@@ -1,0 +1,24 @@
+"""A genuine static race: every task funnels into the same cell.
+
+The write happens inside a helper, so the lexical rule PAR003 cannot see
+it --- only the interprocedural effect walk does.  The slot argument is
+the constant ``0``, which binds the helper's index parameter as
+task-private (not basis-derived), so the write is provably not
+task-disjoint and PAR009 fires at the helper's assignment.
+"""
+
+import numpy as np
+
+
+def _bump(acc, slot, value):
+    acc[slot] = acc[slot] + value
+
+
+def run(tracker, values, n):
+    total = np.zeros(1)
+    with tracker.parallel(n) as region:
+        for t in range(n):
+            with region.task():
+                tracker.add_work(1.0)
+                _bump(total, 0, float(values[t]))
+    return total

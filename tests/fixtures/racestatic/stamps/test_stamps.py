@@ -1,0 +1,20 @@
+"""Coverage stamps for the racestatic fixture package.
+
+This file is what tests/test_race_static.py passes as ``tests_dir``:
+the analyzer's PAR011 pass globs ``test_*.py`` here (non-recursively,
+which is also why this nested copy never pollutes the real test tree's
+stamp scan) and cross-references the qualnames below against the
+fixture package's parallel-region registry.  ``uncovered.run`` is
+deliberately absent.
+
+Pytest collects this file because of its name; it defines no tests,
+imports nothing, and passes trivially.
+"""
+
+RACECHECK_COVERS = [
+    "racestatic.racy.run",
+    "racestatic.disjoint.run",
+    "racestatic.mediated.run",
+    "racestatic.accum.run",
+    "racestatic.covered.run",
+]

@@ -1,0 +1,22 @@
+"""A shared-writing region with no coverage stamp (PAR011 fires).
+
+Byte-for-byte the same safe shape as ``covered`` --- the finding is
+purely about the missing ``RACECHECK_COVERS`` stamp, proving PAR011
+keys on the stamp registry and not on the region's contents.
+"""
+
+import numpy as np
+
+
+def _write_slot(out, i, value):
+    out[i] = value
+
+
+def run(tracker, n):
+    out = np.zeros(n)
+    with tracker.parallel(n) as region:
+        for t in range(n):
+            with region.task():
+                tracker.add_work(1.0)
+                _write_slot(out, t, 1.0)
+    return out
