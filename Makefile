@@ -19,6 +19,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) tools/bench_trajectory.py \
 		--engine-gate --min-listing-speedup 3 \
 		--min-baseline-speedup 3 \
+		--min-hierarchy-speedup 3 \
 		--compare BENCH_nucleus.json --output BENCH_nucleus.json
 
 profile:

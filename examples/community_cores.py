@@ -20,6 +20,7 @@ Run with:  python examples/community_cores.py
 import numpy as np
 
 from repro import CSRGraph, arb_nucleus_decomp
+from repro.analysis import HierarchyIndex, nucleus_hierarchy
 from repro.graph.generators import erdos_renyi
 
 
@@ -71,6 +72,27 @@ def main() -> None:
     print("\nThe k-core's top level is the triangle-free bipartite decoy;")
     print("the (2,3) and (3,4) nuclei land on the planted communities,")
     print("because their density requirement is clique-based.")
+
+    # The flat top level lumps all communities into one vertex set; the
+    # query service over the connected-nucleus hierarchy separates them.
+    result = arb_nucleus_decomp(graph, 2, 3)
+    hierarchy = nucleus_hierarchy(graph, result, engine="batch",
+                                  listing_engine="batch")
+    index = HierarchyIndex(hierarchy)
+    top = max(index.levels())
+    tops = index.at_level(top)
+    print(f"\nquery service on the 2-3 nucleus hierarchy "
+          f"[{len(hierarchy)} nuclei]: {len(tops)} separate "
+          f"nucleus(es) at top level {top}")
+    for nucleus in tops:
+        vertices = nucleus.vertices
+        print(f"  node {nucleus.node_id}: {len(vertices)} vertices, "
+              f"{len(vertices & communities)} of them planted")
+    probe = min(tops[0].vertices & communities)
+    deepest = index.densest_containing_vertex(probe)
+    print(f"densest nucleus containing vertex {probe}: node "
+          f"{deepest.node_id} at level {deepest.level}, "
+          f"{len(deepest.vertices)} vertices")
 
 
 if __name__ == "__main__":

@@ -3,17 +3,26 @@
 Tools a downstream user applies to a
 :class:`~repro.core.decomp.NucleusResult`: extracting the subgraph of a
 given core level, measuring nucleus density, comparing decompositions
-across (r,s), and exporting results.
+across (r,s), building the connected-nucleus hierarchy on the simulated
+machine, serving queries over it, and exporting results.
 """
 
+from .construct import nucleus_hierarchy
 from .hierarchy import Nucleus, NucleusHierarchy, build_hierarchy
 from .nuclei import (core_level_subgraph, core_spectrum, density_profile,
                      nucleus_members, overlap_matrix)
-from .serialize import (load_result_json, result_to_records, save_result_json)
+from .query import HierarchyIndex
+from .serialize import (hierarchy_to_payload, load_hierarchy_json,
+                        load_result_json, payload_to_hierarchy,
+                        result_to_records, save_hierarchy_json,
+                        save_result_json)
 
 __all__ = [
     "core_level_subgraph", "nucleus_members", "core_spectrum",
     "density_profile", "overlap_matrix",
     "save_result_json", "load_result_json", "result_to_records",
-    "build_hierarchy", "Nucleus", "NucleusHierarchy",
+    "save_hierarchy_json", "load_hierarchy_json",
+    "hierarchy_to_payload", "payload_to_hierarchy",
+    "build_hierarchy", "nucleus_hierarchy", "HierarchyIndex",
+    "Nucleus", "NucleusHierarchy",
 ]

@@ -23,6 +23,7 @@ from ..cliques.listing import collect_cliques
 from ..cliques.orient import orient
 from ..core.decomp import NucleusResult
 from ..graph.csr import CSRGraph
+from ..parallel.runtime import CostTracker
 from ..parallel.unionfind import UnionFind
 
 
@@ -74,7 +75,10 @@ class NucleusHierarchy:
 
 
 def build_hierarchy(graph: CSRGraph, result: NucleusResult,
-                    method: str = "union_find") -> NucleusHierarchy:
+                    method: str = "union_find",
+                    tracker: CostTracker | None = None,
+                    listing_engine: str | None = None,
+                    s_cliques=None) -> NucleusHierarchy:
     """Refine a decomposition into the connected-nucleus hierarchy.
 
     Enumerates the graph's s-cliques once, then for each core level groups
@@ -83,6 +87,15 @@ def build_hierarchy(graph: CSRGraph, result: NucleusResult,
     hook-and-compress connectivity.  Suitable for the graph sizes this
     reproduction targets (it materializes the s-clique list, the
     space/connectivity work the paper's footnote 2 refers to).
+
+    The s-clique enumeration honors ``listing_engine`` (defaulting to the
+    decomposition's configured one), so a batch-configured run re-lists
+    with the frontier engine instead of always paying the scalar
+    recursion; alternatively pass ``s_cliques`` (an iterable of vertex
+    tuples) to skip the re-listing entirely.  This per-level rescan is
+    the differential *oracle* for the level-batched engine in
+    :mod:`repro.analysis.construct`, which is what production callers
+    should use.
     """
     if method not in ("union_find", "shiloach_vishkin"):
         raise ValueError("method must be 'union_find' or "
@@ -91,9 +104,16 @@ def build_hierarchy(graph: CSRGraph, result: NucleusResult,
     cores = result.as_dict()
     cliques = sorted(cores)
     index = {clique: i for i, clique in enumerate(cliques)}
-    dg, _ = orient(graph, "degeneracy")
-    s_cliques = [tuple(sorted(int(x) for x in row))
-                 for row in collect_cliques(dg, s)]
+    if s_cliques is None:
+        engine = listing_engine if listing_engine is not None \
+            else result.config.listing_engine
+        dg, _ = orient(graph, "degeneracy", tracker)
+        s_cliques = [tuple(sorted(int(x) for x in row))
+                     for row in collect_cliques(dg, s, tracker,
+                                                engine=engine)]
+    else:
+        s_cliques = [tuple(sorted(int(x) for x in clique))
+                     for clique in s_cliques]
     s_members = [[index[sub] for sub in combinations(big, r)]
                  for big in s_cliques]
 
@@ -107,7 +127,7 @@ def build_hierarchy(graph: CSRGraph, result: NucleusResult,
         surviving_groups = [members for members in s_members
                             if all(survivor[i] for i in members)]
         groups = _group_survivors(len(cliques), survivor, surviving_groups,
-                                  method)
+                                  method, tracker)
         current_node: dict[int, int] = {}
         for group in groups.values():
             members = tuple(cliques[i] for i in sorted(group))
@@ -123,17 +143,19 @@ def build_hierarchy(graph: CSRGraph, result: NucleusResult,
 
 
 def _group_survivors(n: int, survivor: list[bool], surviving_groups,
-                     method: str) -> dict[int, list[int]]:
+                     method: str,
+                     tracker: CostTracker | None = None
+                     ) -> dict[int, list[int]]:
     """Partition the surviving r-clique ids into connected groups."""
     groups: dict[int, list[int]] = {}
     if method == "shiloach_vishkin":
         from ..parallel.connectivity import components_of_sets
-        labels = components_of_sets(n, surviving_groups)
+        labels = components_of_sets(n, surviving_groups, tracker)
         for i, alive in enumerate(survivor):
             if alive:
                 groups.setdefault(int(labels[i]), []).append(i)
         return groups
-    uf = UnionFind(n)
+    uf = UnionFind(n, tracker)
     for members in surviving_groups:
         first = members[0]
         for other in members[1:]:

@@ -78,6 +78,17 @@ def overlap_matrix(results: list[NucleusResult],
     quantifying how much the (r,s) choices agree about where the dense
     region is (cf. the paper's motivation that different (r,s) capture
     different structures).
+
+    Two *empty* top sets score 0.0, not 1.0: an empty selection carries
+    no evidence of agreement, and Jaccard(0/0) is conventionally zero
+    here so a pair of decompositions with no dense region never reads as
+    a perfect match.  (The diagonal stays 1.0 by definition.)
+
+    Caveat: when a result's ``max_core`` is 0 the threshold is also 0,
+    so its top set is *every* vertex touching an r-clique --- the
+    decomposition found no dense region and the "top" degenerates to the
+    whole clique-covered graph.  Callers comparing such results should
+    treat their rows as uninformative rather than as genuine overlap.
     """
     tops = []
     for result in results:
@@ -89,6 +100,6 @@ def overlap_matrix(results: list[NucleusResult],
         for j in range(i + 1, k):
             union = tops[i] | tops[j]
             inter = tops[i] & tops[j]
-            value = len(inter) / len(union) if union else 1.0
+            value = len(inter) / len(union) if union else 0.0
             matrix[i, j] = matrix[j, i] = value
     return matrix

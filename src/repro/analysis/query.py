@@ -1,0 +1,120 @@
+"""The nucleus query service: indexed answers over a built hierarchy.
+
+A :class:`~repro.analysis.hierarchy.NucleusHierarchy` is a flat list of
+nuclei, and its navigation helpers (``at_level``, ``children_of``) scan
+that list on every call --- fine for a one-off inspection, unusable as a
+serving layer.  :class:`HierarchyIndex` precomputes, in one pass over
+the dendrogram at construction time, the indexes the ROADMAP's query
+shapes need:
+
+* a node table (id -> nucleus) and a child index (id -> children);
+* a level index (level -> node ids, in hierarchy order);
+* a vertex index (vertex -> level -> node ids), answering "the nucleus
+  containing v at level k" directly;
+* per-vertex node-id sets, answering "the densest nucleus containing
+  edge (u, v)" by intersecting two membership sets.
+
+Every query walks only its own answer (plus, for the edge query, the
+two endpoint membership sets) --- never the full nucleus list.  A vertex
+can belong to several nuclei at one level (two dense regions may share
+a vertex without being s-clique connected), so vertex queries return
+lists.
+
+"Densest" follows the nucleus-decomposition reading: deeper levels are
+denser subgraphs, so the densest nucleus containing an edge is the one
+at the maximum level containing both endpoints; ties (possible only
+when the endpoints co-occur in several same-level nuclei) break to the
+fewest member r-cliques, then the smallest node id.
+"""
+
+from __future__ import annotations
+
+from .hierarchy import Nucleus, NucleusHierarchy
+
+
+class HierarchyIndex:
+    """Precomputed child/level/vertex indexes over a nucleus hierarchy.
+
+    Construction is one pass over ``hierarchy.nuclei``; queries never
+    scan it again.
+    """
+
+    def __init__(self, hierarchy: NucleusHierarchy):
+        self.hierarchy = hierarchy
+        self._node: dict[int, Nucleus] = {}
+        self._children: dict[int, list[int]] = {}
+        self._by_level: dict[int, list[int]] = {}
+        self._vertex_level: dict[int, dict[int, list[int]]] = {}
+        self._vertex_nodes: dict[int, set[int]] = {}
+        for nucleus in hierarchy.nuclei:
+            node_id = nucleus.node_id
+            self._node[node_id] = nucleus
+            if nucleus.parent_id != -1:
+                self._children.setdefault(nucleus.parent_id,
+                                          []).append(node_id)
+            self._by_level.setdefault(nucleus.level, []).append(node_id)
+            for vertex in sorted(nucleus.vertices):
+                levels = self._vertex_level.setdefault(vertex, {})
+                levels.setdefault(nucleus.level, []).append(node_id)
+                self._vertex_nodes.setdefault(vertex, set()).add(node_id)
+
+    # -- basic lookups ----------------------------------------------------
+
+    def node(self, node_id: int) -> Nucleus:
+        """The nucleus with this id (KeyError if absent)."""
+        return self._node[node_id]
+
+    def children_of(self, node_id: int) -> list[Nucleus]:
+        """The nuclei one level deeper contained in this one."""
+        return [self._node[child]
+                for child in self._children.get(node_id, [])]
+
+    def levels(self) -> list[int]:
+        """All levels with at least one nucleus, ascending."""
+        return sorted(self._by_level)
+
+    # -- the three ROADMAP query shapes -----------------------------------
+
+    def at_level(self, level: int) -> list[Nucleus]:
+        """All nuclei at core level ``level`` (hierarchy order)."""
+        return [self._node[node_id]
+                for node_id in self._by_level.get(level, [])]
+
+    def nucleus_of_vertex(self, vertex: int, level: int) -> list[Nucleus]:
+        """The nuclei at ``level`` whose vertex set contains ``vertex``.
+
+        Usually zero or one nucleus; more than one when the vertex sits
+        in several dense regions that are not s-clique connected.
+        """
+        levels = self._vertex_level.get(vertex)
+        if not levels:
+            return []
+        return [self._node[node_id] for node_id in levels.get(level, [])]
+
+    def densest_containing_edge(self, u: int, v: int) -> Nucleus | None:
+        """The deepest nucleus containing both endpoints, or None.
+
+        Intersects the two endpoints' membership sets and picks the
+        maximum level (ties: fewest members, then smallest node id).
+        The endpoints need not be adjacent in the input graph --- the
+        query answers "the densest region containing both".
+        """
+        shared = self._vertex_nodes.get(u, set()) \
+            & self._vertex_nodes.get(v, set())
+        if not shared:
+            return None
+        best = min(shared, key=lambda node_id: (
+            -self._node[node_id].level, self._node[node_id].size,
+            node_id))
+        return self._node[best]
+
+    def densest_containing_vertex(self, vertex: int) -> Nucleus | None:
+        """The deepest nucleus containing ``vertex``, or None."""
+        levels = self._vertex_level.get(vertex)
+        if not levels:
+            return None
+        level = max(levels)
+        candidates = levels[level]
+        best = min(candidates, key=lambda node_id: (
+            self._node[node_id].size, node_id))
+        return self._node[best]

@@ -1,9 +1,11 @@
-"""Serializing decomposition results.
+"""Serializing decomposition results and hierarchies.
 
 JSON round-tripping for :class:`~repro.core.decomp.NucleusResult` outputs
-(core numbers plus run metadata), and a flat-record view convenient for
-DataFrame-style consumers.  The tracker and table internals are not
-serialized --- only the answer and its summary statistics.
+(core numbers plus run metadata) and for
+:class:`~repro.analysis.hierarchy.NucleusHierarchy` dendrograms, plus a
+flat-record view convenient for DataFrame-style consumers.  The tracker
+and table internals are not serialized --- only the answer and its
+summary statistics.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 import json
 
 from ..core.decomp import NucleusResult
+from .hierarchy import Nucleus, NucleusHierarchy
 
 
 def result_to_records(result: NucleusResult) -> list[dict]:
@@ -48,3 +51,47 @@ def load_result_json(path) -> dict:
     payload["cores"] = {tuple(clique): core
                         for clique, core in payload["cores"]}
     return payload
+
+
+def hierarchy_to_payload(hierarchy: NucleusHierarchy) -> dict:
+    """The JSON-ready dict form of a nucleus hierarchy.
+
+    One record per nucleus (node id, parent id, level, member r-cliques
+    as vertex lists); node ids are the hierarchy's own, so parent links
+    survive the round trip untouched.
+    """
+    return {
+        "r": hierarchy.r,
+        "s": hierarchy.s,
+        "nuclei": [{"node_id": nucleus.node_id,
+                    "parent_id": nucleus.parent_id,
+                    "level": nucleus.level,
+                    "members": [list(clique)
+                                for clique in nucleus.members]}
+                   for nucleus in hierarchy.nuclei],
+    }
+
+
+def payload_to_hierarchy(payload: dict) -> NucleusHierarchy:
+    """Rebuild a :class:`NucleusHierarchy` from its payload dict."""
+    hierarchy = NucleusHierarchy(int(payload["r"]), int(payload["s"]))
+    for record in payload["nuclei"]:
+        hierarchy.nuclei.append(Nucleus(
+            level=int(record["level"]),
+            members=tuple(tuple(int(v) for v in clique)
+                          for clique in record["members"]),
+            node_id=int(record["node_id"]),
+            parent_id=int(record["parent_id"])))
+    return hierarchy
+
+
+def save_hierarchy_json(hierarchy: NucleusHierarchy, path) -> None:
+    """Write the hierarchy (levels, members, parent links) as JSON."""
+    with open(path, "w") as handle:
+        json.dump(hierarchy_to_payload(hierarchy), handle)
+
+
+def load_hierarchy_json(path) -> NucleusHierarchy:
+    """Load a hierarchy saved by :func:`save_hierarchy_json`."""
+    with open(path) as handle:
+        return payload_to_hierarchy(json.load(handle))

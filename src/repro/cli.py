@@ -11,6 +11,10 @@ Subcommands::
     python -m repro.cli sanitize
     python -m repro.cli bench --compare BENCH_nucleus.json -o BENCH_new.json
     python -m repro.cli profile --dataset dblp --r 2 --s 3 -o trace.json
+    python -m repro.cli hierarchy --dataset dblp --r 2 --s 3 --summary
+    python -m repro.cli hierarchy --dataset dblp --r 2 --s 3 -o hier.json
+    python -m repro.cli hierarchy --load hier.json --vertex 5 --level 2
+    python -m repro.cli hierarchy --load hier.json --edge 3 7
 
 ``decompose`` reads a SNAP-style edge list (or a named surrogate dataset),
 runs ARB-NUCLEUS-DECOMP, and prints summary statistics, the core-number
@@ -23,6 +27,10 @@ detector over the main algorithm and the baselines.
 ``bench`` runs the pinned perf-trajectory suite (optionally gating on a
 baseline) and ``profile`` runs one decomposition under the trace recorder,
 writing a Chrome-trace JSON and printing the five-term time breakdown.
+``hierarchy`` builds the connected-nucleus hierarchy on the simulated
+machine (or loads a saved one) and serves the indexed queries: nuclei at
+a level, the nucleus containing a vertex at a level, and the densest
+nucleus containing an edge.
 """
 
 from __future__ import annotations
@@ -230,6 +238,92 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _describe_nucleus(nucleus) -> str:
+    vertices = sorted(nucleus.vertices)
+    shown = " ".join(map(str, vertices[:12]))
+    if len(vertices) > 12:
+        shown += f" ... [{len(vertices)} vertices]"
+    return (f"node {nucleus.node_id} level {nucleus.level} "
+            f"parent {nucleus.parent_id} "
+            f"({nucleus.size} r-cliques): {shown}")
+
+
+def _cmd_hierarchy(args) -> int:
+    """Build (or load) a nucleus hierarchy and serve indexed queries."""
+    from .analysis import (HierarchyIndex, load_hierarchy_json,
+                           nucleus_hierarchy, save_hierarchy_json)
+    if args.load:
+        hierarchy = load_hierarchy_json(args.load)
+        print(f"loaded ({hierarchy.r},{hierarchy.s}) hierarchy from "
+              f"{args.load}: {len(hierarchy)} nuclei")
+    else:
+        if args.r is None or args.s is None:
+            raise SystemExit("provide --r and --s (or --load FILE)")
+        graph, name = _load_graph(args)
+        config = _build_config(args)
+        tracker = CostTracker()
+        result = arb_nucleus_decomp(graph, args.r, args.s, config, tracker)
+        hierarchy = nucleus_hierarchy(graph, result, tracker,
+                                      engine=config.engine,
+                                      listing_engine=config.listing_engine)
+        machine = MachineModel()
+        print(f"graph {name}: n={graph.n} m={graph.m}")
+        print(f"({args.r},{args.s}) hierarchy: {len(hierarchy)} nuclei "
+              f"across {len({x.level for x in hierarchy.nuclei})} levels "
+              f"(max core {result.max_core})")
+        print(f"  simulated time (decompose + build): "
+              f"T(1)={machine.time(tracker, 1):.0f} "
+              f"T(60)={machine.time(tracker, 60):.0f}")
+    if args.output:
+        save_hierarchy_json(hierarchy, args.output)
+        print(f"wrote hierarchy JSON to {args.output}")
+    index = HierarchyIndex(hierarchy)
+    queried = False
+    if args.edge:
+        queried = True
+        u, v = args.edge
+        nucleus = index.densest_containing_edge(u, v)
+        if nucleus is None:
+            print(f"edge ({u}, {v}): no nucleus contains both endpoints")
+        else:
+            print(f"densest nucleus containing edge ({u}, {v}):")
+            print(f"  {_describe_nucleus(nucleus)}")
+    if args.vertex is not None and args.level is not None:
+        queried = True
+        found = index.nucleus_of_vertex(args.vertex, args.level)
+        if not found:
+            print(f"vertex {args.vertex} is in no nucleus at level "
+                  f"{args.level}")
+        for nucleus in found:
+            print(f"vertex {args.vertex} at level {args.level}: "
+                  f"{_describe_nucleus(nucleus)}")
+    elif args.vertex is not None:
+        queried = True
+        nucleus = index.densest_containing_vertex(args.vertex)
+        if nucleus is None:
+            print(f"vertex {args.vertex} is in no nucleus")
+        else:
+            print(f"densest nucleus containing vertex {args.vertex}:")
+            print(f"  {_describe_nucleus(nucleus)}")
+    elif args.level is not None:
+        queried = True
+        found = index.at_level(args.level)
+        print(f"{len(found)} nucleus(es) at level {args.level}:")
+        for nucleus in found:
+            print(f"  {_describe_nucleus(nucleus)}")
+    if args.summary or not queried:
+        levels = index.levels()
+        print(f"levels: {levels}")
+        for level in levels:
+            sizes = [nucleus.size for nucleus in index.at_level(level)]
+            print(f"  level {level}: {len(sizes)} nucleus(es), "
+                  f"sizes {sizes[:10]}"
+                  + (" ..." if len(sizes) > 10 else ""))
+        print(f"roots: {len(hierarchy.roots())}  "
+              f"leaves: {len(hierarchy.leaves())}")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     """Run one decomposition under the trace recorder + breakdown."""
     from .machine.cache import CacheSimulator
@@ -366,6 +460,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--label", default="",
                    help="free-form label stored in the payload")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "hierarchy",
+        help="build the connected-nucleus hierarchy and serve queries "
+             "(nucleus of a vertex at a level, nuclei at a level, "
+             "densest nucleus containing an edge)")
+    p.add_argument("--input", help="SNAP-style edge list file")
+    p.add_argument("--dataset", choices=dataset_names(),
+                   help="named surrogate dataset")
+    p.add_argument("--r", type=int)
+    p.add_argument("--s", type=int)
+    p.add_argument("--engine", choices=["scalar", "batch"],
+                   help="level-sweep kernel (batch: vectorized, "
+                        "identical simulated costs)")
+    p.add_argument("--listing-engine", choices=["scalar", "batch"],
+                   dest="listing_engine",
+                   help="s-clique listing implementation")
+    p.add_argument("-o", "--output",
+                   help="write the hierarchy as JSON")
+    p.add_argument("--load", metavar="FILE",
+                   help="serve a previously saved hierarchy JSON "
+                        "instead of decomposing")
+    p.add_argument("--level", type=int,
+                   help="query: all nuclei at this core level")
+    p.add_argument("--vertex", type=int,
+                   help="query: the nucleus containing this vertex (at "
+                        "--level if given, else the densest)")
+    p.add_argument("--edge", type=int, nargs=2, metavar=("U", "V"),
+                   help="query: the densest nucleus containing both "
+                        "endpoints")
+    p.add_argument("--summary", action="store_true",
+                   help="print the per-level summary (default when no "
+                        "query is given)")
+    p.set_defaults(func=_cmd_hierarchy)
 
     p = sub.add_parser(
         "profile",

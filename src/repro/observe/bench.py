@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 from dataclasses import replace
 
+from ..analysis.construct import nucleus_hierarchy
 from ..baselines.msp import msp_decomposition
 from ..baselines.nd import nd_decomposition, pnd_decomposition
 from ..baselines.pkt import pkt_decomposition, pkt_opt_cpu_decomposition
@@ -82,6 +83,20 @@ BASELINE_HOT_PHASE: dict[str, str] = {
     "msp": "peel", "kcore": "peel", "densest": "scan",
 }
 
+#: The pinned hierarchy-construction suite: (graph, r, s).  The k-truss
+#: hierarchy on the two smaller surrogates plus one higher-(r,s) point;
+#: entries measure hierarchy construction only (the decomposition that
+#: feeds it runs off the books on a throwaway tracker).
+HIERARCHY_SUITE: tuple[tuple[str, int, int], ...] = (
+    ("amazon", 2, 3), ("amazon", 3, 4), ("dblp", 2, 3),
+)
+
+#: The hierarchy engine's hot phase: the level-sweep kernel the batch
+#: engine vectorizes, whose wall-clock the engine gate's
+#: --min-hierarchy-speedup floor is over (``hier_list`` and
+#: ``hier_emit`` are shared code between the engines).
+HIERARCHY_HOT_PHASE = "hier_levels"
+
 
 def entry_key(entry: dict) -> str:
     return f"{entry['graph']}({entry['r']},{entry['s']})"
@@ -89,6 +104,10 @@ def entry_key(entry: dict) -> str:
 
 def baseline_entry_key(entry: dict) -> str:
     return f"{entry['baseline']}@{entry['graph']}"
+
+
+def hierarchy_entry_key(entry: dict) -> str:
+    return f"hier:{entry['graph']}({entry['r']},{entry['s']})"
 
 
 def run_entry(graph_name: str, r: int, s: int,
@@ -254,6 +273,81 @@ def run_baseline_suite(machine: MachineModel | None = None,
     return entries
 
 
+def run_hierarchy_entry(graph_name: str, r: int, s: int,
+                        machine: MachineModel | None = None,
+                        threads: int = BENCH_THREADS,
+                        engine: str = "scalar",
+                        listing_engine: str = "scalar") -> dict:
+    """Run one pinned hierarchy construction; canonical metrics.
+
+    The decomposition feeding the hierarchy runs on a throwaway tracker
+    so the entry's simulated metrics cover hierarchy construction only.
+    Mirrors :func:`run_entry`: by the hierarchy engines' cost-parity
+    invariant every simulated metric is engine-independent --- only
+    ``wall_clock`` and the engine tags may differ.
+    """
+    machine = machine or MachineModel()
+    graph = load_dataset(graph_name)
+    config = replace(NucleusConfig.optimal(r, s), engine=engine,
+                     listing_engine=listing_engine)
+    result = arb_nucleus_decomp(graph, r, s, config, CostTracker())
+    tracker = CostTracker()
+    tracker.cache = CacheSimulator()  # exact: sample=1
+    hierarchy = nucleus_hierarchy(graph, result, tracker, engine=engine,
+                                  listing_engine=listing_engine)
+    t1 = machine.time(tracker, 1)
+    tp = machine.time(tracker, threads)
+    return {
+        "graph": graph_name, "r": r, "s": s,
+        "engine": engine,
+        "listing_engine": listing_engine,
+        "hot_phase": HIERARCHY_HOT_PHASE,
+        "wall_clock": {
+            "total": sum(tracker.phase_wall.values()),
+            **{name: seconds
+               for name, seconds in sorted(tracker.phase_wall.items())},
+        },
+        "n_nuclei": len(hierarchy),
+        "n_levels": len({nucleus.level for nucleus in hierarchy.nuclei}),
+        "work": tracker.total.work,
+        "span": tracker.span,
+        "rho": tracker.total.rounds,
+        "rounds": tracker.total.rounds,
+        "atomic_ops": tracker.total.atomic_ops,
+        "contention": tracker.total.contention,
+        "cache_accesses": tracker.cache.accesses,
+        "cache_misses": tracker.cache.misses,
+        "T1": t1, "T60": tp, "speedup": t1 / tp,
+        "phases": {
+            name: {field: getattr(stats, field) for field in _PHASE_FIELDS}
+            for name, stats in tracker.phases.items()
+        },
+    }
+
+
+def run_hierarchy_suite(machine: MachineModel | None = None,
+                        threads: int = BENCH_THREADS,
+                        suite: tuple[tuple[str, int, int], ...] | None = None,
+                        progress=None,
+                        engine: str = "scalar",
+                        listing_engine: str = "scalar") -> list[dict]:
+    """Run the pinned hierarchy suite; returns the entry list (stored
+    under the main payload's ``"hierarchy"`` key by the trajectory
+    tool)."""
+    if suite is None:
+        suite = HIERARCHY_SUITE  # resolved at call time (tests shrink it)
+    machine = machine or MachineModel()
+    entries = []
+    for graph_name, r, s in suite:
+        if progress is not None:
+            progress(f"bench hierarchy: {graph_name} ({r},{s}) "
+                     f"[{engine}/{listing_engine}]")
+        entries.append(run_hierarchy_entry(graph_name, r, s, machine,
+                                           threads, engine=engine,
+                                           listing_engine=listing_engine))
+    return entries
+
+
 def write_payload(payload: dict, path) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
@@ -280,7 +374,8 @@ def compare(current: dict, baseline: dict,
     for example, carries no baseline section).
     """
     regressions = []
-    sections = (("suite", entry_key), ("baselines", baseline_entry_key))
+    sections = (("suite", entry_key), ("baselines", baseline_entry_key),
+                ("hierarchy", hierarchy_entry_key))
     for section, key_of in sections:
         if section not in current or section not in baseline:
             continue

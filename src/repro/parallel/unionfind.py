@@ -22,16 +22,27 @@ class UnionFind:
         self.tracker = tracker
 
     def find(self, x: int) -> int:
-        """Representative of ``x``'s set (with path compression)."""
+        """Representative of ``x``'s set (with path compression).
+
+        Charges one unit per ascent step *and* one per compression
+        write: the second loop re-walks the path to point every node at
+        the root, which is real (and cache-relevant) work the simulated
+        machine must see.  A find over a path of k edges charges
+        ``(k + 1)`` ascent units plus ``k - 1`` compression writes (the
+        node already adjacent to the root is never rewritten); a second
+        find over the now-compressed path charges ``2 + 0``.
+        """
         root = x
         steps = 1
         while self.parent[root] != root:
             root = int(self.parent[root])
             steps += 1
+        writes = 0
         while self.parent[x] != root:
             self.parent[x], x = root, int(self.parent[x])
+            writes += 1
         if self.tracker is not None:
-            self.tracker.add_work(float(steps))
+            self.tracker.add_work(float(steps + writes))
         return root
 
     def union(self, a: int, b: int) -> bool:

@@ -86,6 +86,33 @@ class TestOverlap:
         assert matrix.shape == (2, 2)
         assert 0.0 <= matrix[0, 1] <= 1.0
 
+    def test_two_empty_top_sets_score_zero(self):
+        # A path has no triangles: the (3,4) decomposition is empty, so
+        # two empty top sets carry no evidence of agreement --- 0.0 off
+        # the diagonal (never Jaccard(0/0) = 1.0), 1.0 on it.
+        from repro.graph.csr import CSRGraph
+        graph = CSRGraph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4),
+                                        (4, 5)])
+        result = arb_nucleus_decomp(graph, 3, 4)
+        assert nucleus_members(result, 0) == set()
+        matrix = overlap_matrix([result, result])
+        assert matrix[0, 1] == matrix[1, 0] == 0.0
+        assert matrix[0, 0] == matrix[1, 1] == 1.0
+
+    def test_zero_core_top_set_degenerates_to_covered_vertices(self):
+        # max_core == 0 makes the threshold 0: the "top" is every
+        # edge-covered vertex (the documented uninformative case), and
+        # overlapping it with an empty decomposition still reads 0.0.
+        from repro.graph.csr import CSRGraph
+        graph = CSRGraph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4),
+                                        (4, 5)])
+        edge_result = arb_nucleus_decomp(graph, 2, 3)
+        assert edge_result.max_core == 0
+        assert nucleus_members(edge_result, 0) == set(range(6))
+        matrix = overlap_matrix([edge_result,
+                                 arb_nucleus_decomp(graph, 3, 4)])
+        assert matrix[0, 1] == 0.0
+
 
 class TestSerialization:
     def test_round_trip(self, fig1_result, tmp_path):

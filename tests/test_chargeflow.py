@@ -83,6 +83,7 @@ class TestRealTree:
         engine = sorted((m for m in project.modules.values()
                          if is_engine_module(m)), key=lambda m: m.name)
         assert [m.name for m in engine] == [
+            "repro.analysis.batchhier",
             "repro.baselines.batchnd", "repro.baselines.batchtruss",
             "repro.cliques.batchlist", "repro.core.batchcore",
             "repro.core.batchpeel"]

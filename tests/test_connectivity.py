@@ -71,6 +71,22 @@ class TestComponentsOfSets:
         labels = components_of_sets(3, [])
         assert list(labels) == [0, 1, 2]
 
+    def test_construction_charge_is_sum_of_group_sizes(self):
+        # Building the star edge list scans every group member once; the
+        # rest of the work is exactly connected_components on the stars.
+        groups = [[0, 1, 2], [2, 3], [4, 5]]
+        stars = [(0, 1), (0, 2), (2, 3), (4, 5)]
+        grouped, direct = CostTracker(), CostTracker()
+        components_of_sets(6, groups, grouped)
+        connected_components(6, stars, direct)
+        assert grouped.work == direct.work + sum(len(g) for g in groups)
+
+    def test_singleton_groups_charge(self):
+        # No star edges: the scan (2 members) plus the n_items labeling.
+        tracker = CostTracker()
+        components_of_sets(3, [[0], [1]], tracker)
+        assert tracker.work == 5.0
+
 
 class TestHierarchyBackendsAgree:
     @pytest.mark.parametrize("seed", range(3))

@@ -29,6 +29,16 @@ def test_community_cores():
     truss = next(line for line in lines if "(2,3)" in line)
     assert float(kcore.split()[3]) < 0.5  # k-core precision poisoned
     assert float(truss.split()[3]) > 0.9  # truss precision clean
+    # The query-service drill-down: every top-level nucleus is planted.
+    assert "query service on the 2-3 nucleus hierarchy" in out
+    tops = [line for line in out.splitlines()
+            if line.startswith("  node ")]
+    assert tops
+    for line in tops:
+        total = int(line.split(": ")[1].split()[0])
+        planted = int(line.split(", ")[1].split()[0])
+        assert planted == total
+    assert "densest nucleus containing vertex" in out
 
 
 def test_fraud_rings():
@@ -39,6 +49,18 @@ def test_fraud_rings():
     flagged = int(final.split("flags ")[1].split()[0])
     caught = int(final.split(", ")[1].split()[0])
     assert caught / flagged > 0.8
+    # The query-service drill-down recovers each ring as a connected
+    # nucleus around one of its transactions, with no outsiders.
+    assert "ring drill-down via the nucleus query service" in out
+    rings = [line for line in out.splitlines()
+             if line.startswith("  ring ")]
+    assert len(rings) == 4
+    for line in rings:
+        covered, planted = map(int,
+                               line.split("covers ")[1].split()[0].split("/"))
+        outsiders = int(line.split("with ")[1].split()[0])
+        assert covered / planted >= 0.8
+        assert outsiders == 0
 
 
 def test_tuning_and_scaling():

@@ -44,6 +44,28 @@ class TestUnionFind:
         groups = sorted(sorted(g) for g in uf.components().values())
         assert groups == [[0, 1], [2, 3], [4]]
 
+    def test_find_charges_ascent_and_compression(self):
+        from repro.parallel.runtime import CostTracker
+        tracker = CostTracker()
+        uf = UnionFind(4, tracker)
+        uf.parent[:] = [1, 2, 3, 3]  # a path 0 -> 1 -> 2 -> 3
+        uf.find(0)
+        # 4 ascent steps (0, 1, 2, then the root check at 3) plus 2
+        # compression writes repointing 0 and 1 at the root (2 already
+        # points there).
+        assert tracker.work == 6.0
+        uf.find(0)
+        # The path is compressed: 2 ascent steps, nothing to rewrite.
+        assert tracker.work == 8.0
+        assert list(uf.parent) == [3, 3, 3, 3]
+
+    def test_find_on_root_charges_one(self):
+        from repro.parallel.runtime import CostTracker
+        tracker = CostTracker()
+        uf = UnionFind(3, tracker)
+        uf.find(2)
+        assert tracker.work == 1.0
+
     def test_large_random_against_networkx(self):
         import networkx as nx
         rng = np.random.default_rng(3)

@@ -1,0 +1,139 @@
+"""Tests for the nucleus query service and hierarchy serialization."""
+
+import pytest
+
+from repro.analysis import (HierarchyIndex, hierarchy_to_payload,
+                            load_hierarchy_json, nucleus_hierarchy,
+                            payload_to_hierarchy, save_hierarchy_json)
+from repro.core.decomp import arb_nucleus_decomp
+from repro.graph.generators import figure1_graph, planted_partition
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    graph = figure1_graph()
+    hierarchy = nucleus_hierarchy(graph, arb_nucleus_decomp(graph, 3, 4))
+    return hierarchy, HierarchyIndex(hierarchy)
+
+
+@pytest.fixture(scope="module")
+def community():
+    graph = planted_partition(40, 4, 0.5, 0.02, seed=2)
+    hierarchy = nucleus_hierarchy(graph, arb_nucleus_decomp(graph, 2, 3))
+    return hierarchy, HierarchyIndex(hierarchy)
+
+
+class TestBasicLookups:
+    def test_node_table(self, fig1):
+        hierarchy, index = fig1
+        for nucleus in hierarchy.nuclei:
+            assert index.node(nucleus.node_id) is nucleus
+        with pytest.raises(KeyError):
+            index.node(len(hierarchy) + 7)
+
+    def test_levels(self, fig1):
+        _, index = fig1
+        assert index.levels() == [0, 1, 2]
+
+    def test_children_invert_parent_links(self, community):
+        hierarchy, index = community
+        for nucleus in hierarchy.nuclei:
+            for child in index.children_of(nucleus.node_id):
+                assert child.parent_id == nucleus.node_id
+        child_ids = {c.node_id for n in hierarchy.nuclei
+                     for c in index.children_of(n.node_id)}
+        linked = {n.node_id for n in hierarchy.nuclei if n.parent_id != -1}
+        assert child_ids == linked
+
+
+class TestQueryShapes:
+    """The three ROADMAP query shapes, against the flat-scan answers."""
+
+    def test_at_level_matches_scan(self, community):
+        hierarchy, index = community
+        for level in index.levels():
+            scan = [n.node_id for n in hierarchy.nuclei
+                    if n.level == level]
+            assert [n.node_id for n in index.at_level(level)] == scan
+        assert index.at_level(10**6) == []
+
+    def test_nucleus_of_vertex(self, fig1):
+        _, index = fig1
+        # Figure 1: the level-2 nucleus is the 5-clique {a..e} = {0..4}.
+        for vertex in range(5):
+            found = index.nucleus_of_vertex(vertex, 2)
+            assert len(found) == 1
+            assert found[0].vertices == {0, 1, 2, 3, 4}
+        assert index.nucleus_of_vertex(6, 2) == []   # g never reaches 2
+        assert index.nucleus_of_vertex(99, 0) == []  # not in any clique
+
+    def test_nucleus_of_vertex_matches_scan(self, community):
+        hierarchy, index = community
+        for vertex in range(0, 40, 7):
+            for level in index.levels():
+                scan = [n.node_id for n in hierarchy.nuclei
+                        if n.level == level and vertex in n.vertices]
+                got = [n.node_id
+                       for n in index.nucleus_of_vertex(vertex, level)]
+                assert got == scan
+
+    def test_densest_containing_edge(self, fig1):
+        _, index = fig1
+        # a--b sit together in the 5-clique: level 2 is the densest.
+        nucleus = index.densest_containing_edge(0, 1)
+        assert nucleus.level == 2
+        assert nucleus.vertices == {0, 1, 2, 3, 4}
+        # f is only ever in the 13-triangle component, g only in cdg's
+        # isolated nucleus: no shared nucleus at all.
+        assert index.densest_containing_edge(5, 6) is None
+        # c and g share only the level-0 cdg triangle.
+        shared = index.densest_containing_edge(2, 6)
+        assert shared.level == 0
+        assert shared.vertices == {2, 3, 6}
+
+    def test_densest_containing_edge_matches_scan(self, community):
+        hierarchy, index = community
+        for u, v in ((0, 1), (3, 17), (5, 38)):
+            best = index.densest_containing_edge(u, v)
+            scan = [n for n in hierarchy.nuclei
+                    if u in n.vertices and v in n.vertices]
+            if not scan:
+                assert best is None
+                continue
+            top = max(n.level for n in scan)
+            assert best.level == top
+            assert best.node_id in {n.node_id for n in scan
+                                    if n.level == top}
+
+    def test_densest_containing_vertex(self, fig1):
+        _, index = fig1
+        assert index.densest_containing_vertex(0).level == 2
+        assert index.densest_containing_vertex(6).level == 0
+        assert index.densest_containing_vertex(99) is None
+
+
+class TestHierarchySerialization:
+    def test_payload_round_trip(self, fig1):
+        hierarchy, _ = fig1
+        loaded = payload_to_hierarchy(hierarchy_to_payload(hierarchy))
+        assert loaded.r == hierarchy.r and loaded.s == hierarchy.s
+        assert [(n.level, n.node_id, n.parent_id, n.members)
+                for n in loaded.nuclei] == \
+            [(n.level, n.node_id, n.parent_id, n.members)
+             for n in hierarchy.nuclei]
+
+    def test_json_round_trip(self, community, tmp_path):
+        hierarchy, index = community
+        path = tmp_path / "hierarchy.json"
+        save_hierarchy_json(hierarchy, path)
+        loaded = load_hierarchy_json(path)
+        assert [(n.level, n.node_id, n.parent_id, n.members)
+                for n in loaded.nuclei] == \
+            [(n.level, n.node_id, n.parent_id, n.members)
+             for n in hierarchy.nuclei]
+        # The query service answers identically over the loaded copy.
+        reloaded = HierarchyIndex(loaded)
+        assert reloaded.levels() == index.levels()
+        for level in index.levels():
+            assert [n.node_id for n in reloaded.at_level(level)] == \
+                [n.node_id for n in index.at_level(level)]

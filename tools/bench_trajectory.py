@@ -54,9 +54,11 @@ def main(argv: list[str] | None = None) -> int:
                              "metrics, a batch peel wall-clock speedup of "
                              "at least --min-speedup, a batch-listing "
                              "count-phase speedup of at least "
-                             "--min-listing-speedup and a baseline "
+                             "--min-listing-speedup, a baseline "
                              "hot-phase speedup of at least "
-                             "--min-baseline-speedup; writes the scalar "
+                             "--min-baseline-speedup and a hierarchy "
+                             "level-sweep speedup of at least "
+                             "--min-hierarchy-speedup; writes the scalar "
                              "payload to --output and the batch / listing "
                              "payloads next to it")
     parser.add_argument("--min-speedup", type=float, default=1.0,
@@ -73,6 +75,11 @@ def main(argv: list[str] | None = None) -> int:
                              "speedup the batch baseline engines must "
                              "reach in --engine-gate mode (default 1.0: "
                              "strictly faster)")
+    parser.add_argument("--min-hierarchy-speedup", type=float, default=1.0,
+                        help="minimum hierarchy-suite level-sweep "
+                             "wall-clock speedup the batch hierarchy "
+                             "engine must reach in --engine-gate mode "
+                             "(default 1.0: strictly faster)")
     args = parser.parse_args(argv)
 
     # Load the baseline up front: --output may name the same file.
@@ -88,9 +95,14 @@ def main(argv: list[str] | None = None) -> int:
                               listing_engine=args.listing_engine)
     payload["baselines"] = bench.run_baseline_suite(
         threads=args.threads, progress=progress, engine=args.engine)
+    payload["hierarchy"] = bench.run_hierarchy_suite(
+        threads=args.threads, progress=progress, engine=args.engine,
+        listing_engine=args.listing_engine)
     bench.write_payload(payload, args.output)
-    print(f"wrote {len(payload['suite'])} suite entries and "
-          f"{len(payload['baselines'])} baseline entries to {args.output}")
+    print(f"wrote {len(payload['suite'])} suite entries, "
+          f"{len(payload['baselines'])} baseline entries and "
+          f"{len(payload['hierarchy'])} hierarchy entries to "
+          f"{args.output}")
 
     if baseline is not None:
         regressions = bench.compare(payload, baseline,
@@ -118,11 +130,17 @@ def _phase_wall_total(payload: dict, phase: str) -> float:
     return sum(e["wall_clock"].get(phase, 0.0) for e in payload["suite"])
 
 
+_SECTION_KEYS = {
+    "suite": lambda: bench.entry_key,
+    "baselines": lambda: bench.baseline_entry_key,
+    "hierarchy": lambda: bench.hierarchy_entry_key,
+}
+
+
 def _parity_failures(reference: dict, candidate: dict,
                      label: str, section: str = "suite") -> list[str]:
     """Bit-for-bit simulated-metric differences between two suite runs."""
-    key_of = bench.entry_key if section == "suite" \
-        else bench.baseline_entry_key
+    key_of = _SECTION_KEYS[section]()
     failures = []
     for ref_entry, cand_entry in zip(reference[section], candidate[section]):
         key = key_of(ref_entry)
@@ -137,6 +155,11 @@ def _parity_failures(reference: dict, candidate: dict,
 def _baseline_hot_total(payload: dict) -> float:
     return sum(e["wall_clock"].get(e["hot_phase"], 0.0)
                for e in payload["baselines"])
+
+
+def _hierarchy_hot_total(payload: dict) -> float:
+    return sum(e["wall_clock"].get(e["hot_phase"], 0.0)
+               for e in payload["hierarchy"])
 
 
 def _engine_gate(args, baseline) -> int:
@@ -154,6 +177,11 @@ def _engine_gate(args, baseline) -> int:
         threads=args.threads, progress=progress, engine="scalar")
     batch["baselines"] = bench.run_baseline_suite(
         threads=args.threads, progress=progress, engine="batch")
+    scalar["hierarchy"] = bench.run_hierarchy_suite(
+        threads=args.threads, progress=progress, engine="scalar")
+    batch["hierarchy"] = bench.run_hierarchy_suite(
+        threads=args.threads, progress=progress, engine="batch",
+        listing_engine="batch")
     bench.write_payload(scalar, args.output)
     root, ext = os.path.splitext(args.output)
     batch_path = f"{root}.batch{ext or '.json'}"
@@ -167,6 +195,8 @@ def _engine_gate(args, baseline) -> int:
     failures += _parity_failures(scalar, listing, "listing engines")
     failures += _parity_failures(scalar, batch, "baseline engines",
                                  section="baselines")
+    failures += _parity_failures(scalar, batch, "hierarchy engines",
+                                 section="hierarchy")
     scalar_peel = _phase_wall_total(scalar, "peel")
     batch_peel = _phase_wall_total(batch, "peel")
     ratio = scalar_peel / batch_peel if batch_peel > 0 else float("inf")
@@ -196,6 +226,17 @@ def _engine_gate(args, baseline) -> int:
         failures.append(f"batch baseline hot-phase speedup "
                         f"x{baseline_ratio:.2f} below the required "
                         f"x{args.min_baseline_speedup:.2f}")
+    scalar_hier = _hierarchy_hot_total(scalar)
+    batch_hier = _hierarchy_hot_total(batch)
+    hierarchy_ratio = scalar_hier / batch_hier if batch_hier > 0 \
+        else float("inf")
+    print(f"hierarchy-suite level-sweep wall-clock: scalar "
+          f"{scalar_hier:.3f}s, batch {batch_hier:.3f}s (speedup "
+          f"x{hierarchy_ratio:.2f})")
+    if hierarchy_ratio < args.min_hierarchy_speedup:
+        failures.append(f"batch hierarchy level-sweep speedup "
+                        f"x{hierarchy_ratio:.2f} below the required "
+                        f"x{args.min_hierarchy_speedup:.2f}")
 
     if baseline is not None:
         for name, payload in (("scalar", scalar), ("batch", batch),
@@ -212,7 +253,8 @@ def _engine_gate(args, baseline) -> int:
     print("engine gate passed: identical simulated metrics, batch peel "
           f"x{ratio:.2f} faster, batch listing count phase "
           f"x{listing_ratio:.2f} faster, batch baselines "
-          f"x{baseline_ratio:.2f} faster")
+          f"x{baseline_ratio:.2f} faster, batch hierarchy level sweep "
+          f"x{hierarchy_ratio:.2f} faster")
     return 0
 
 
