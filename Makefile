@@ -11,15 +11,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Perf trajectory: run the pinned suite AND the baseline (competitor)
-# suite under both engines (plus the batch listing engine), gate against
-# the committed baseline, and refresh BENCH_nucleus.json (commit it when
-# a perf PR moves the numbers on purpose).
+# Perf trajectory: run the pinned suite, the baseline (competitor)
+# suite, the hierarchy suite and the sharded suite under both engines
+# (plus the batch listing engine), gate against the committed baseline,
+# and refresh BENCH_nucleus.json (commit it when a perf PR moves the
+# numbers on purpose).
 bench:
 	PYTHONPATH=src $(PYTHON) tools/bench_trajectory.py \
 		--engine-gate --min-listing-speedup 3 \
 		--min-baseline-speedup 3 \
 		--min-hierarchy-speedup 3 \
+		--min-comm-reduction 1.3 \
 		--compare BENCH_nucleus.json --output BENCH_nucleus.json
 
 profile:

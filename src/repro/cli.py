@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli sanitize
     python -m repro.cli bench --compare BENCH_nucleus.json -o BENCH_new.json
     python -m repro.cli profile --dataset dblp --r 2 --s 3 -o trace.json
+    python -m repro.cli shard --dataset dblp --r 2 --s 3 --shards 4 --verify
     python -m repro.cli hierarchy --dataset dblp --r 2 --s 3 --summary
     python -m repro.cli hierarchy --dataset dblp --r 2 --s 3 -o hier.json
     python -m repro.cli hierarchy --load hier.json --vertex 5 --level 2
@@ -26,7 +27,10 @@ and race-coverage rules) and ``sanitize`` drives the dynamic race
 detector over the main algorithm and the baselines.
 ``bench`` runs the pinned perf-trajectory suite (optionally gating on a
 baseline) and ``profile`` runs one decomposition under the trace recorder,
-writing a Chrome-trace JSON and printing the five-term time breakdown.
+writing a Chrome-trace JSON and printing the six-term time breakdown.
+``shard`` runs the sharded multi-node decomposition (docs/sharding.md)
+and reports partition quality, communication volume, and the composed
+distributed time model.
 ``hierarchy`` builds the connected-nucleus hierarchy on the simulated
 machine (or loads a saved one) and serves the indexed queries: nuclei at
 a level, the nucleus containing a vertex at a level, and the densest
@@ -113,6 +117,19 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _print_partition_quality(quality: dict, indent: str = "  ") -> None:
+    print(f"{indent}shard sizes = {quality['shard_sizes']} "
+          f"(imbalance {quality['imbalance']:.2f})")
+    print(f"{indent}edge cut = {quality['edge_cut']} "
+          f"({100.0 * quality['cut_fraction']:.1f}% of edges)")
+    print(f"{indent}triangle spill = {quality['triangle_spill']} "
+          f"({100.0 * quality['triangle_spill_fraction']:.1f}% of "
+          f"triangles)")
+    if "s_clique_spill_estimate" in quality:
+        print(f"{indent}s-clique spill estimate = "
+              f"{100.0 * quality['s_clique_spill_estimate']:.1f}%")
+
+
 def _cmd_stats(args) -> int:
     graph, name = _load_graph(args)
     from .cliques.orient import degeneracy
@@ -123,6 +140,14 @@ def _cmd_stats(args) -> int:
     print(f"  max degree = {int(graph.degrees.max()) if graph.n else 0}")
     print(f"  degeneracy = {degeneracy(graph)}")
     print(f"  triangles = {triangle_count(graph)}")
+    if args.shards:
+        from .distributed import PARTITIONERS
+        from .graph.stats import partition_statistics
+        partition = PARTITIONERS[args.partitioner](graph, args.shards)
+        quality = partition_statistics(graph, partition.shard_of,
+                                       args.shards, s=args.s)
+        print(f"  partition [{args.partitioner}, {args.shards} shard(s)]:")
+        _print_partition_quality(quality, indent="    ")
     return 0
 
 
@@ -325,23 +350,101 @@ def _cmd_hierarchy(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    """Run one decomposition under the trace recorder + breakdown."""
+    """Run one decomposition under the trace recorder + breakdown.
+
+    With ``--shards`` the run is sharded and the written trace merges the
+    coordinator's lanes with one lane group per shard, so the exchange
+    barriers between local peel rounds are visible.
+    """
     from .machine.cache import CacheSimulator
-    from .observe import TraceRecorder, format_breakdown
+    from .observe import TraceRecorder, format_breakdown, write_merged_trace
     graph, name = _load_graph(args)
     config = _build_config(args)
     tracker = CostTracker()
     tracker.cache = CacheSimulator()
     tracker.trace = TraceRecorder(task_limit=args.task_limit)
-    result = arb_nucleus_decomp(graph, args.r, args.s, config, tracker)
     machine = MachineModel()
-    print(f"graph {name}: n={graph.n} m={graph.m}  "
-          f"({args.r},{args.s}) rho={result.rho} max_core={result.max_core}")
-    print(format_breakdown(machine.time_breakdown(tracker, args.threads)))
-    tracker.trace.write(args.output)
-    events = len(tracker.trace.events)
+    if args.shards:
+        from .distributed import sharded_nucleus_decomp
+        result = sharded_nucleus_decomp(graph, args.r, args.s, args.shards,
+                                        partitioner=args.partitioner,
+                                        config=config, tracker=tracker)
+        print(f"graph {name}: n={graph.n} m={graph.m}  "
+              f"({args.r},{args.s}) x{args.shards} shard(s) "
+              f"rho={result.rho} max_core={result.max_core}")
+        print(format_breakdown(machine.time_breakdown(tracker, args.threads),
+                               title="coordinator time breakdown"))
+        recorders = [tracker.trace, *result.shard_traces]
+        write_merged_trace(recorders, args.output)
+        events = sum(len(recorder.events) for recorder in recorders)
+    else:
+        result = arb_nucleus_decomp(graph, args.r, args.s, config, tracker)
+        print(f"graph {name}: n={graph.n} m={graph.m}  "
+              f"({args.r},{args.s}) rho={result.rho} "
+              f"max_core={result.max_core}")
+        print(format_breakdown(machine.time_breakdown(tracker,
+                                                      args.threads)))
+        tracker.trace.write(args.output)
+        events = len(tracker.trace.events)
     print(f"wrote {events} trace events to {args.output} "
           f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    """Run the sharded decomposition; report comm, quality, and time."""
+    from .distributed import DistributedMachineModel, sharded_nucleus_decomp
+    from .graph.stats import partition_statistics
+    from .observe import TraceRecorder, write_merged_trace
+    graph, name = _load_graph(args)
+    tracker = CostTracker()
+    if args.trace:
+        tracker.trace = TraceRecorder()
+    result = sharded_nucleus_decomp(graph, args.r, args.s, args.shards,
+                                    partitioner=args.partitioner,
+                                    tracker=tracker,
+                                    exchange_engine=args.exchange_engine)
+    quality = partition_statistics(graph, result.partition.shard_of,
+                                   args.shards, s=args.s)
+    machine = DistributedMachineModel(MachineModel())
+    breakdown = machine.time_breakdown(result, args.threads)
+    print(f"graph {name}: n={graph.n} m={graph.m}")
+    print(f"({args.r},{args.s}) sharded decomposition on {args.shards} "
+          f"shard(s) [{args.partitioner} partitioner, "
+          f"{args.exchange_engine} exchange]:")
+    print(f"  r-cliques: {result.n_r_cliques}  "
+          f"s-cliques: {result.n_s_cliques}")
+    print(f"  peeling rounds (rho): {result.rho}  "
+          f"max core: {result.max_core}")
+    print("  partition quality:")
+    _print_partition_quality(quality, indent="    ")
+    print(f"  comm: {result.comm_messages} message(s), "
+          f"{result.comm_bytes} byte(s) -> simulated time "
+          f"{machine.comm_time(result.comm_messages, result.comm_bytes):.0f}")
+    print(f"  simulated time at {args.threads} thread(s)/shard: "
+          f"coordinator {breakdown['coordinator']:.0f} + "
+          f"compute {breakdown['compute']:.0f} + "
+          f"comm {breakdown['comm']:.0f} = {breakdown['time']:.0f}")
+    for shard, st in enumerate(result.shard_trackers):
+        print(f"    shard {shard}: work={st.total.work:.0f} "
+              f"span={st.span:.0f} atomics={st.total.atomic_ops} "
+              f"sent={st.total.comm_messages} msg / "
+              f"{st.total.comm_bytes} B")
+    if args.verify:
+        reference_tracker = CostTracker()
+        reference = arb_nucleus_decomp(graph, args.r, args.s,
+                                       tracker=reference_tracker)
+        if result.as_dict() != reference.as_dict():
+            print("  oracle check: MISMATCH vs the single-node run")
+            return 1
+        speedup = machine.speedup_vs_single(result, reference_tracker,
+                                            args.threads)
+        print(f"  oracle check: cores identical to the single-node run "
+              f"(distributed speedup x{speedup:.2f})")
+    if args.trace:
+        write_merged_trace([tracker.trace, *result.shard_traces],
+                           args.trace)
+        print(f"wrote merged shard trace to {args.trace}")
     return 0
 
 
@@ -399,6 +502,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="basic structural statistics")
     p.add_argument("--input")
     p.add_argument("--dataset", choices=dataset_names())
+    p.add_argument("--shards", type=int,
+                   help="also report partition quality for this many "
+                        "shards")
+    p.add_argument("--partitioner", choices=["hash", "mincut"],
+                   default="mincut",
+                   help="partitioner for the quality report "
+                        "(default: mincut)")
+    p.add_argument("--s", type=int,
+                   help="clique size for the s-clique spill estimate "
+                        "(with --shards)")
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("figure", help="regenerate a paper figure's table")
@@ -511,7 +624,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max task slices recorded per parallel region")
     p.add_argument("--unoptimized", action="store_true",
                    help="profile the Section 6.2 baseline configuration")
+    p.add_argument("--shards", type=int,
+                   help="profile the sharded run on this many shards "
+                        "(one trace lane group per shard)")
+    p.add_argument("--partitioner", choices=["hash", "mincut"],
+                   default="mincut",
+                   help="partitioner for --shards (default: mincut)")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "shard",
+        help="run the sharded multi-node decomposition "
+             "(docs/sharding.md)")
+    p.add_argument("--input", help="SNAP-style edge list file")
+    p.add_argument("--dataset", choices=dataset_names(),
+                   help="named surrogate dataset")
+    p.add_argument("--r", type=int, required=True)
+    p.add_argument("--s", type=int, required=True)
+    p.add_argument("--shards", type=int, required=True,
+                   help="number of shards (simulated nodes)")
+    p.add_argument("--partitioner", choices=["hash", "mincut"],
+                   default="mincut",
+                   help="vertex partitioner (default: mincut)")
+    p.add_argument("--exchange-engine", choices=["scalar", "batch"],
+                   dest="exchange_engine", default="batch",
+                   help="cross-shard exchange kernel (batch: vectorized, "
+                        "identical simulated costs)")
+    p.add_argument("--threads", type=int, default=60,
+                   help="thread count per shard for the time model")
+    p.add_argument("--verify", action="store_true",
+                   help="also run the single-node oracle and check the "
+                        "cores match bit for bit")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a merged per-shard Chrome trace to FILE")
+    p.set_defaults(func=_cmd_shard)
     return parser
 
 

@@ -96,23 +96,41 @@ class NucleusResult:
         return {int(v): int(c) for v, c in zip(values, counts)}
 
 
-def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
-                       config: NucleusConfig | None = None,
-                       tracker: CostTracker | None = None) -> NucleusResult:
-    """Compute the (r, s) nucleus decomposition of ``graph``.
+@dataclass
+class PreparedDecomposition:
+    """Phases 1--3 of ARB-NUCLEUS-DECOMP, packaged for a peeling driver.
 
-    Parameters
-    ----------
-    graph:
-        The undirected input graph.
-    r, s:
-        Nucleus parameters, ``1 <= r < s``; (1,2) is k-core, (2,3) k-truss.
-    config:
-        Optimization knobs; defaults to :meth:`NucleusConfig.optimal`.
-    tracker:
-        Optional cost tracker (a fresh one is created otherwise); attach a
-        cache simulator to it *before* calling to model cache behavior.
+    Both the single-node driver (:func:`arb_nucleus_decomp`) and the
+    sharded multi-node driver
+    (:func:`repro.distributed.peel.sharded_nucleus_decomp`) consume this:
+    the oriented graph, the populated clique table with its s-clique
+    counts, and the bookkeeping needed to report results in original
+    vertex ids.  All charges land on :attr:`tracker` in the same phases
+    (``orient`` / ``relabel`` / ``enumerate_r`` / ``build_table`` /
+    ``count_s``) and the same order as before the extraction, so the
+    pinned bench trajectory is unchanged.
     """
+
+    config: NucleusConfig
+    tracker: CostTracker
+    work_graph: CSRGraph
+    dg: DirectedGraph
+    original_of: np.ndarray
+    table: CliqueTable
+    n_r: int
+    n_s: int
+    #: The listing engine actually used (falls back to ``"scalar"`` when a
+    #: race detector is attached; peeling drivers should honor the same
+    #: choice for their UPDATE completions).
+    listing_engine: str
+
+
+def prepare_decomposition(graph: CSRGraph, r: int, s: int,
+                          config: NucleusConfig | None = None,
+                          tracker: CostTracker | None = None
+                          ) -> PreparedDecomposition:
+    """Run phases 1--3 (orient, enumerate r-cliques + build T, count
+    s-cliques) and return the shared state every peeling driver needs."""
     if config is None:
         config = NucleusConfig.optimal(r, s)
     config = config.validated(graph.n, r, s)
@@ -135,7 +153,7 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
     # The frontier listing engine charges identical simulated costs but
     # bypasses the per-task shadow logging the race detector needs; fall
     # back to the oracle recursion when one is attached (same rule as the
-    # peeling engine below).
+    # peeling engine).
     listing_engine = config.listing_engine
     if listing_engine == "batch" and tracker.race_detector is not None:
         listing_engine = "scalar"
@@ -166,9 +184,9 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
             address_space=AddressSpace())
 
     if n_r == 0:
-        return NucleusResult(r, s, 0, 0, 0, 0, table.memory_units, tracker,
-                             config, [], np.array([], dtype=np.int64),
-                             np.array([], dtype=np.int64), table, original_of)
+        return PreparedDecomposition(config, tracker, work_graph, dg,
+                                     original_of, table, 0, 0,
+                                     listing_engine)
 
     # -- Phase 3: count s-cliques per r-clique (COUNT-FUNC, line 22).
     relabeled = config.relabel
@@ -177,6 +195,37 @@ def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
             n_s = batch_count_phase(dg, table, r, s, relabeled, tracker)
         else:
             n_s = _count_scalar(dg, table, r, s, relabeled, tracker)
+    return PreparedDecomposition(config, tracker, work_graph, dg,
+                                 original_of, table, n_r, n_s,
+                                 listing_engine)
+
+
+def arb_nucleus_decomp(graph: CSRGraph, r: int, s: int,
+                       config: NucleusConfig | None = None,
+                       tracker: CostTracker | None = None) -> NucleusResult:
+    """Compute the (r, s) nucleus decomposition of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The undirected input graph.
+    r, s:
+        Nucleus parameters, ``1 <= r < s``; (1,2) is k-core, (2,3) k-truss.
+    config:
+        Optimization knobs; defaults to :meth:`NucleusConfig.optimal`.
+    tracker:
+        Optional cost tracker (a fresh one is created otherwise); attach a
+        cache simulator to it *before* calling to model cache behavior.
+    """
+    prep = prepare_decomposition(graph, r, s, config, tracker)
+    config, tracker = prep.config, prep.tracker
+    work_graph, dg, table = prep.work_graph, prep.dg, prep.table
+    original_of, n_r, n_s = prep.original_of, prep.n_r, prep.n_s
+
+    if n_r == 0:
+        return NucleusResult(r, s, 0, 0, 0, 0, table.memory_units, tracker,
+                             config, [], np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64), table, original_of)
 
     # -- Phase 4: bucket and peel (lines 23-29).
     cells = table.occupied_cells()

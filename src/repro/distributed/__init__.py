@@ -1,0 +1,24 @@
+"""Sharded multi-node execution model (docs/sharding.md).
+
+Partition the vertex set (:mod:`repro.distributed.partition`), peel in
+BSP super-rounds with batched cross-shard count-decrement exchanges
+(:mod:`repro.distributed.peel`), and price the run with the composed
+multi-node time model (:mod:`repro.distributed.model`).  Output is
+bit-for-bit identical to the single-node decomposition.
+"""
+
+from .model import ENTRY_BYTES, DistributedMachineModel
+from .partition import PARTITIONERS, Partition, hash_partition, \
+    mincut_partition
+from .peel import ShardedResult, sharded_nucleus_decomp
+
+__all__ = [
+    "ENTRY_BYTES",
+    "DistributedMachineModel",
+    "PARTITIONERS",
+    "Partition",
+    "hash_partition",
+    "mincut_partition",
+    "ShardedResult",
+    "sharded_nucleus_decomp",
+]

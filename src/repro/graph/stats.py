@@ -2,13 +2,15 @@
 
 Descriptive statistics used by the CLI, the dataset documentation, and the
 experiment harness when characterizing inputs: degree distribution moments,
-clustering coefficients, and a one-call profile combining them with
-degeneracy and clique counts.
+clustering coefficients, a one-call profile combining them with degeneracy
+and clique counts, and partition-quality statistics for the sharded
+execution model (:mod:`repro.distributed`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import comb
 
 import numpy as np
 
@@ -89,3 +91,55 @@ def profile_graph(graph: CSRGraph) -> GraphProfile:
         degeneracy=degeneracy(graph) if graph.m else 0,
         triangles=triangle_count(graph),
         transitivity=global_clustering_coefficient(graph))
+
+
+def estimated_clique_spill(cut_fraction: float, s: int) -> float:
+    """Estimated fraction of s-cliques with at least one cut edge.
+
+    Under the null model where each of the ``comb(s, 2)`` clique edges is
+    cut independently with probability ``cut_fraction``, the chance an
+    s-clique stays shard-internal is ``(1 - cut)^C(s,2)``; the complement
+    estimates the spill the distributed peel must pay communication for.
+    """
+    return 1.0 - (1.0 - cut_fraction) ** comb(s, 2)
+
+
+def partition_statistics(graph: CSRGraph, shard_of, n_shards: int,
+                         s: int | None = None) -> dict:
+    """Partition-quality report for a vertex -> shard assignment.
+
+    Returns edge-cut count and fraction, shard sizes and imbalance
+    (largest shard over the ideal ``n / n_shards``), the *exact*
+    cross-shard triangle spill (triangles minus the shard-internal
+    triangles of every induced subgraph), and --- when ``s`` is given ---
+    the modeled s-clique spill fraction
+    (:func:`estimated_clique_spill`).
+    """
+    shard_of = np.asarray(shard_of, dtype=np.int64)
+    sizes = np.bincount(shard_of, minlength=n_shards)
+    edges = graph.edges()
+    edge_cut = int((shard_of[edges[:, 0]] != shard_of[edges[:, 1]]).sum())
+    cut_fraction = edge_cut / graph.m if graph.m else 0.0
+    ideal = graph.n / n_shards if n_shards else 0.0
+    triangles = triangle_count(graph)
+    internal = 0
+    for shard in range(n_shards):
+        members = np.flatnonzero(shard_of == shard)
+        if members.size:
+            subgraph, _ = graph.induced_subgraph(members)
+            internal += triangle_count(subgraph)
+    stats = {
+        "n_shards": n_shards,
+        "shard_sizes": [int(size) for size in sizes],
+        "imbalance": float(sizes.max() / ideal) if graph.n else 1.0,
+        "edge_cut": edge_cut,
+        "cut_fraction": float(cut_fraction),
+        "triangles": triangles,
+        "triangle_spill": triangles - internal,
+        "triangle_spill_fraction":
+            (triangles - internal) / triangles if triangles else 0.0,
+    }
+    if s is not None:
+        stats["s_clique_spill_estimate"] = estimated_clique_spill(
+            cut_fraction, s)
+    return stats

@@ -34,6 +34,7 @@ from ..core.decomp import arb_nucleus_decomp
 from ..core.densest import k_clique_densest
 from ..core.kcore import k_core
 from ..graph.datasets import load_dataset
+from ..graph.stats import partition_statistics
 from ..machine.cache import CacheSimulator
 from ..parallel.runtime import CostTracker, MachineModel
 
@@ -53,10 +54,12 @@ PINNED_SUITE: tuple[tuple[str, int, int], ...] = (
 BENCH_THREADS = 60
 
 #: Scalar metrics compared by :func:`compare`; True means lower-is-better.
+#: ``comm_time`` / ``comm_reduction`` only appear in sharded entries;
+#: entries without a metric skip it.
 COMPARED_METRICS: dict[str, bool] = {
     "work": True, "span": True, "rho": True, "T1": True,
     "T60": True, "contention": True, "cache_misses": True,
-    "speedup": False,
+    "speedup": False, "comm_time": True, "comm_reduction": False,
 }
 
 _PHASE_FIELDS = ("work", "span", "rounds", "contention", "cache_misses")
@@ -97,6 +100,15 @@ HIERARCHY_SUITE: tuple[tuple[str, int, int], ...] = (
 #: ``hier_emit`` are shared code between the engines).
 HIERARCHY_HOT_PHASE = "hier_levels"
 
+#: The pinned sharded suite: (graph, r, s, shards).  Covers two shard
+#: counts (4 and 8) so the --min-comm-reduction floor --- how much the
+#: mincut partitioner must cut simulated comm time versus the hash
+#: baseline --- is enforced on both.
+SHARDED_SUITE: tuple[tuple[str, int, int, int], ...] = (
+    ("amazon", 2, 3, 4), ("amazon", 2, 3, 8),
+    ("dblp", 1, 2, 4), ("dblp", 2, 3, 8),
+)
+
 
 def entry_key(entry: dict) -> str:
     return f"{entry['graph']}({entry['r']},{entry['s']})"
@@ -108,6 +120,11 @@ def baseline_entry_key(entry: dict) -> str:
 
 def hierarchy_entry_key(entry: dict) -> str:
     return f"hier:{entry['graph']}({entry['r']},{entry['s']})"
+
+
+def sharded_entry_key(entry: dict) -> str:
+    return (f"shard:{entry['graph']}({entry['r']},{entry['s']})"
+            f"x{entry['shards']}")
 
 
 def run_entry(graph_name: str, r: int, s: int,
@@ -348,6 +365,107 @@ def run_hierarchy_suite(machine: MachineModel | None = None,
     return entries
 
 
+def run_sharded_entry(graph_name: str, r: int, s: int, shards: int,
+                      machine: MachineModel | None = None,
+                      threads: int = BENCH_THREADS,
+                      exchange_engine: str = "batch") -> dict:
+    """Run one pinned sharded decomposition under both partitioners.
+
+    The entry records, per partitioner, the simulated communication
+    volume/time and partition quality, plus the headline comparison
+    metrics: ``comm_time`` (mincut's --- lower is better),
+    ``comm_reduction`` (hash comm time over mincut comm time --- the
+    quantity the engine gate's ``--min-comm-reduction`` floor pins), and
+    ``speedup`` (single-node simulated time over the mincut distributed
+    time).  By the exchange kernels' cost-parity invariant every
+    simulated metric is engine-independent --- only ``wall_clock`` and
+    the ``exchange_engine`` tag may differ.
+    """
+    # Imported here: repro.distributed pulls in repro.observe.trace, so a
+    # module-level import would be circular through the package __init__.
+    from ..distributed import DistributedMachineModel, sharded_nucleus_decomp
+    machine = machine or MachineModel()
+    distributed = DistributedMachineModel(machine)
+    graph = load_dataset(graph_name)
+    single_tracker = CostTracker()
+    reference = arb_nucleus_decomp(graph, r, s, tracker=single_tracker)
+    single_time = machine.time(single_tracker, threads)
+    reference_cores = reference.as_dict()
+    per_partitioner = {}
+    wall = 0.0
+    mincut_result = None
+    for name in ("hash", "mincut"):
+        result = sharded_nucleus_decomp(graph, r, s, shards,
+                                        partitioner=name,
+                                        exchange_engine=exchange_engine)
+        quality = partition_statistics(graph, result.partition.shard_of,
+                                       shards, s=s)
+        per_partitioner[name] = {
+            "comm_messages": result.comm_messages,
+            "comm_bytes": result.comm_bytes,
+            "comm_time": distributed.comm_time(result.comm_messages,
+                                               result.comm_bytes),
+            "T60": distributed.time(result, threads),
+            "edge_cut": quality["edge_cut"],
+            "cut_fraction": quality["cut_fraction"],
+            "imbalance": quality["imbalance"],
+            "triangle_spill_fraction": quality["triangle_spill_fraction"],
+            "s_clique_spill_estimate": quality["s_clique_spill_estimate"],
+            "matches_oracle": result.as_dict() == reference_cores,
+        }
+        wall += sum(result.tracker.phase_wall.values()) + sum(
+            sum(st.phase_wall.values()) for st in result.shard_trackers)
+        if name == "mincut":
+            mincut_result = result
+    hash_stats = per_partitioner["hash"]
+    mincut_stats = per_partitioner["mincut"]
+    if mincut_stats["comm_time"] > 0:
+        comm_reduction = hash_stats["comm_time"] / mincut_stats["comm_time"]
+    else:
+        comm_reduction = 1.0 if hash_stats["comm_time"] == 0 else \
+            float("inf")
+    return {
+        "graph": graph_name, "r": r, "s": s, "shards": shards,
+        "exchange_engine": exchange_engine,
+        "wall_clock": {"total": wall},
+        "n_r": mincut_result.n_r_cliques, "n_s": mincut_result.n_s_cliques,
+        "rho": mincut_result.rho, "max_core": mincut_result.max_core,
+        "comm_messages": mincut_stats["comm_messages"],
+        "comm_bytes": mincut_stats["comm_bytes"],
+        "comm_time": mincut_stats["comm_time"],
+        "comm_reduction": comm_reduction,
+        "T60_single": single_time,
+        "T60": mincut_stats["T60"],
+        "speedup": single_time / mincut_stats["T60"],
+        "matches_oracle": (hash_stats["matches_oracle"]
+                           and mincut_stats["matches_oracle"]),
+        "hash": hash_stats,
+        "mincut": mincut_stats,
+    }
+
+
+def run_sharded_suite(machine: MachineModel | None = None,
+                      threads: int = BENCH_THREADS,
+                      suite: tuple[tuple[str, int, int, int], ...]
+                      | None = None,
+                      progress=None,
+                      exchange_engine: str = "batch") -> list[dict]:
+    """Run the pinned sharded suite; returns the entry list (stored under
+    the main payload's ``"sharded"`` key by the trajectory tool)."""
+    if suite is None:
+        suite = SHARDED_SUITE  # resolved at call time (tests shrink it)
+    machine = machine or MachineModel()
+    entries = []
+    for graph_name, r, s, shards in suite:
+        if progress is not None:
+            progress(f"bench sharded: {graph_name} ({r},{s}) x{shards} "
+                     f"[{exchange_engine}]")
+        entries.append(run_sharded_entry(graph_name, r, s, shards, machine,
+                                         threads,
+                                         exchange_engine=exchange_engine))
+    return entries
+
+
 def write_payload(payload: dict, path) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
@@ -375,7 +493,8 @@ def compare(current: dict, baseline: dict,
     """
     regressions = []
     sections = (("suite", entry_key), ("baselines", baseline_entry_key),
-                ("hierarchy", hierarchy_entry_key))
+                ("hierarchy", hierarchy_entry_key),
+                ("sharded", sharded_entry_key))
     for section, key_of in sections:
         if section not in current or section not in baseline:
             continue

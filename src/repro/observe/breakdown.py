@@ -18,12 +18,16 @@ Term semantics (see docs/cost-model.md for the parameter mapping):
 ``barrier``   ``rounds * (barrier_base + barrier_per_log_thread * log2 P)``
 ``contention``  ``contention_factor * serialized_atomic_span``
 ``cache``     ``miss_penalty * misses / effective(P)``
+``comm``      ``comm_latency * messages + comm_byte_time * bytes``
 ============  ==============================================================
+
+``comm`` is exactly zero for single-node runs --- only the distributed
+exchange (:mod:`repro.distributed`) charges it, see docs/sharding.md.
 """
 
 from __future__ import annotations
 
-TERMS = ("work", "span", "barrier", "contention", "cache")
+TERMS = ("work", "span", "barrier", "contention", "cache", "comm")
 
 
 def breakdown_rows(breakdown: dict) -> list[dict]:

@@ -26,6 +26,14 @@ Track layout:
   charges no work, and peeling rounds can have millions of tasks, so task
   recording stops (per region) after :attr:`task_limit` tasks --- the
   region slice still records the true task count.
+
+Sharded runs (:mod:`repro.distributed`) attach one recorder per shard
+with ``TraceRecorder(shard=k)``: the same track layout repeats in a
+dedicated tid block per shard (offset ``_SHARD_STRIDE * (k + 1)``) so the
+per-shard ``local_peel`` / ``exchange`` phase slices line up as parallel
+lanes and the exchange barriers between local peel rounds are visible at
+a glance.  :func:`merged_chrome_trace` combines the coordinator's and the
+shards' recorders into one Perfetto-loadable timeline.
 """
 
 from __future__ import annotations
@@ -41,6 +49,9 @@ _PID = 1
 _PHASE_TID = 0
 _REGION_TID = 1
 _FIRST_LANE_TID = 2
+#: tid block reserved per shard lane group (shard k uses
+#: ``_SHARD_STRIDE * (k + 1) + {0, 1, 2..}``; the coordinator keeps 0..).
+_SHARD_STRIDE = 64
 
 
 def _snapshot(tracker) -> dict[str, float]:
@@ -70,11 +81,19 @@ class TraceRecorder:
     lanes:
         Number of display lanes tasks are round-robined across, imitating
         worker threads of a real execution.
+    shard:
+        When set, all tids shift into the shard's dedicated block and the
+        thread names are prefixed with ``shard <k>`` so multiple
+        recorders merge into one distributed timeline
+        (:func:`merged_chrome_trace`).
     """
 
-    def __init__(self, task_limit: int = 256, lanes: int = 8):
+    def __init__(self, task_limit: int = 256, lanes: int = 8,
+                 shard: int | None = None):
         self.task_limit = max(0, task_limit)
         self.lanes = max(1, lanes)
+        self.shard = shard
+        self._tid_base = 0 if shard is None else _SHARD_STRIDE * (shard + 1)
         self.events: list[dict] = []
         self.dropped_tasks = 0
         self._phase_stack: list[_Open] = []
@@ -86,15 +105,16 @@ class TraceRecorder:
 
     def begin_phase(self, tracker, name: str) -> None:
         self._phase_stack.append(
-            _Open(name, _PHASE_TID, tracker.total.work, _snapshot(tracker)))
+            _Open(name, self._tid_base + _PHASE_TID, tracker.total.work,
+                  _snapshot(tracker)))
 
     def end_phase(self, tracker, name: str) -> None:
         self._close(self._phase_stack.pop(), tracker, category="phase")
 
     def begin_region(self, tracker, n_tasks: int) -> None:
         self._region_stack.append(
-            _Open(f"parallel[{n_tasks}]", _REGION_TID, tracker.total.work,
-                  _snapshot(tracker)))
+            _Open(f"parallel[{n_tasks}]", self._tid_base + _REGION_TID,
+                  tracker.total.work, _snapshot(tracker)))
         self._region_task_counts.append(0)
 
     def end_region(self, tracker, max_task_span: float) -> None:
@@ -111,7 +131,7 @@ class TraceRecorder:
             self.dropped_tasks += 1
             self._task_stack.append(None)
             return
-        tid = _FIRST_LANE_TID + task_index % self.lanes
+        tid = self._tid_base + _FIRST_LANE_TID + task_index % self.lanes
         self._task_stack.append(
             _Open(f"task {task_index}", tid, tracker.total.work,
                   _snapshot(tracker)))
@@ -145,13 +165,17 @@ class TraceRecorder:
         def meta(name, tid, label):
             return {"name": name, "ph": "M", "pid": _PID, "tid": tid,
                     "args": {"name": label}}
-        lanes = [meta("thread_name", _FIRST_LANE_TID + k, f"lane {k}")
+        prefix = "" if self.shard is None else f"shard {self.shard} "
+        base = self._tid_base
+        lanes = [meta("thread_name", base + _FIRST_LANE_TID + k,
+                      f"{prefix}lane {k}")
                  for k in range(self.lanes)]
         return [
             {"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
              "args": {"name": "simulated machine (time axis = work units)"}},
-            meta("thread_name", _PHASE_TID, "phases"),
-            meta("thread_name", _REGION_TID, "parallel regions"),
+            meta("thread_name", base + _PHASE_TID, f"{prefix}phases"),
+            meta("thread_name", base + _REGION_TID,
+                 f"{prefix}parallel regions"),
             *lanes,
         ]
 
@@ -170,3 +194,38 @@ class TraceRecorder:
         """Serialize the trace to ``path`` as Chrome trace-event JSON."""
         with open(path, "w") as handle:
             json.dump(self.to_chrome_trace(), handle, indent=1)
+
+
+def merged_chrome_trace(recorders) -> dict:
+    """Combine several recorders into one Chrome trace object.
+
+    Used by the sharded driver: pass the coordinator's recorder followed
+    by the per-shard ones (``shard=k`` each) and every shard renders as
+    its own lane group on a shared work-unit time axis.
+    """
+    events: list[dict] = []
+    dropped = 0
+    seen_process_name = False
+    for recorder in recorders:
+        for event in recorder._metadata():
+            if event["name"] == "process_name":
+                if seen_process_name:
+                    continue
+                seen_process_name = True
+            events.append(event)
+        events.extend(recorder.events)
+        dropped += recorder.dropped_tasks
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated work units (1 unit = 1 us displayed)",
+            "dropped_task_slices": dropped,
+        },
+    }
+
+
+def write_merged_trace(recorders, path) -> None:
+    """Serialize :func:`merged_chrome_trace` of ``recorders`` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(merged_chrome_trace(recorders), handle, indent=1)

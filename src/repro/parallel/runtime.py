@@ -140,6 +140,12 @@ class PhaseStats:
     #: Cache misses attributed to this phase (scaled by the simulator's
     #: sampling rate, like the simulator's own counters).
     cache_misses: int = 0
+    #: Cross-shard messages / payload bytes charged to this phase by the
+    #: distributed execution model (zero on single-node runs).  Messages
+    #: pay a per-message latency, bytes a bandwidth term; batching many
+    #: count-decrements into one message is what the amortization models.
+    comm_messages: int = 0
+    comm_bytes: int = 0
 
     @property
     def work(self) -> float:
@@ -156,6 +162,8 @@ class PhaseStats:
         self.cliques_enumerated += other.cliques_enumerated
         self.table_probes += other.table_probes
         self.cache_misses += other.cache_misses
+        self.comm_messages += other.comm_messages
+        self.comm_bytes += other.comm_bytes
 
 
 class CostTracker:
@@ -352,6 +360,24 @@ class CostTracker:
         if self._phase_stack:
             self.phases[self._phase_stack[-1]].table_probes += count
 
+    def add_comm(self, messages: int, n_bytes: int) -> None:
+        """Charge cross-shard communication: ``messages`` network messages
+        carrying ``n_bytes`` payload bytes in total.
+
+        Single-node algorithms never call this, so their ``comm`` term is
+        exactly zero and every pre-sharding figure is unchanged.  The
+        distributed exchange charges one message per non-empty
+        (source, destination) shard pair per exchange round and the summed
+        batch entry bytes --- batching is the point: the latency term is
+        paid per batch, not per count-decrement (docs/sharding.md).
+        """
+        self.total.comm_messages += messages
+        self.total.comm_bytes += n_bytes
+        if self._phase_stack:
+            stats = self.phases[self._phase_stack[-1]]
+            stats.comm_messages += messages
+            stats.comm_bytes += n_bytes
+
     def note_memory_units(self, units: int) -> None:
         """Record a high-water mark of data-structure memory (paper units)."""
         if units > self.peak_memory_units:
@@ -475,6 +501,8 @@ class CostTracker:
             "cliques_enumerated": self.total.cliques_enumerated,
             "table_probes": self.total.table_probes,
             "peak_memory_units": self.peak_memory_units,
+            "comm_messages": self.total.comm_messages,
+            "comm_bytes": self.total.comm_bytes,
         }
         if self.cache is not None:
             out["cache_accesses"] = self.cache.accesses
@@ -512,6 +540,13 @@ class MachineModel:
     barrier_per_log_thread: float = 12.0
     miss_penalty: float = 40.0
     contention_factor: float = 8.0
+    #: Cross-shard communication: each message pays a fixed latency and
+    #: each payload byte a bandwidth cost (operation units, like the other
+    #: parameters).  Single-node trackers charge no comm, so the sixth
+    #: ``comm`` term is exactly zero for them and every pre-sharding
+    #: figure is unchanged (docs/sharding.md).
+    comm_latency: float = 400.0
+    comm_byte_time: float = 0.5
 
     def effective_parallelism(self, threads: int) -> float:
         """Physical-core-equivalent throughput of ``threads`` threads."""
@@ -524,14 +559,26 @@ class MachineModel:
         """Cost of one global round barrier at ``threads`` threads."""
         return self.barrier_base + self.barrier_per_log_thread * _log2(threads)
 
+    def comm_cost(self, messages: int, n_bytes: int) -> float:
+        """Simulated time of ``messages`` messages carrying ``n_bytes``.
+
+        ``messages * comm_latency + n_bytes * comm_byte_time``: the
+        closed-form the exchange unit tests pin.  Latency is paid per
+        batch, which is why batching cross-shard count-decrements
+        amortizes it.
+        """
+        return self.comm_latency * messages + self.comm_byte_time * n_bytes
+
     def _terms(self, work: float, span: float, rounds: int,
                contention: float, cache_misses: int,
-               threads: int) -> dict[str, float]:
-        """The five additive components of the time estimate.
+               threads: int, comm_messages: int = 0,
+               comm_bytes: int = 0) -> dict[str, float]:
+        """The six additive components of the time estimate.
 
         ``time()`` is by construction the exact sum of these terms; the
         per-phase rows of :meth:`time_breakdown` reuse the same formula on
-        :class:`PhaseStats` counters.
+        :class:`PhaseStats` counters.  ``comm`` is zero unless the tracker
+        was charged by the distributed exchange (:mod:`repro.distributed`).
         """
         p = self.effective_parallelism(threads)
         parallel = threads > 1  # barriers/collisions only hurt parallel runs
@@ -543,6 +590,7 @@ class MachineModel:
             "contention": self.contention_factor * contention if parallel
             else 0.0,
             "cache": self.miss_penalty * cache_misses / p,
+            "comm": self.comm_cost(comm_messages, comm_bytes),
         }
 
     def time(self, tracker: CostTracker, threads: int = 1) -> float:
@@ -550,21 +598,23 @@ class MachineModel:
         misses = tracker.cache.misses if tracker.cache is not None else 0
         terms = self._terms(tracker.total.work, tracker.span,
                             tracker.total.rounds, tracker.total.contention,
-                            misses, threads)
+                            misses, threads, tracker.total.comm_messages,
+                            tracker.total.comm_bytes)
         return (terms["work"] + terms["span"] + terms["barrier"]
-                + terms["contention"] + terms["cache"])
+                + terms["contention"] + terms["cache"] + terms["comm"])
 
     def time_breakdown(self, tracker: CostTracker,
                        threads: int = 1) -> dict:
-        """Decompose :meth:`time` into its five terms, per phase and total.
+        """Decompose :meth:`time` into its six terms, per phase and total.
 
         Returns a dict with keys:
 
         * ``"threads"`` / ``"effective_parallelism"``;
-        * ``"total"`` -- the five terms (``work``, ``span``, ``barrier``,
-          ``contention``, ``cache``) plus their exact sum ``time``, equal to
-          :meth:`time` for the same tracker and thread count;
-        * ``"phases"`` -- the same five terms evaluated on each
+        * ``"total"`` -- the six terms (``work``, ``span``, ``barrier``,
+          ``contention``, ``cache``, ``comm``) plus their exact sum
+          ``time``, equal to :meth:`time` for the same tracker and thread
+          count;
+        * ``"phases"`` -- the same six terms evaluated on each
           :class:`PhaseStats`.  Phase counters (including span, see
           :meth:`CostTracker.add_span`) partition the totals, so phase
           ``time`` entries sum to the total up to float error and any
@@ -573,15 +623,19 @@ class MachineModel:
         misses = tracker.cache.misses if tracker.cache is not None else 0
         total = self._terms(tracker.total.work, tracker.span,
                             tracker.total.rounds, tracker.total.contention,
-                            misses, threads)
+                            misses, threads, tracker.total.comm_messages,
+                            tracker.total.comm_bytes)
         total["time"] = (total["work"] + total["span"] + total["barrier"]
-                         + total["contention"] + total["cache"])
+                         + total["contention"] + total["cache"]
+                         + total["comm"])
         phases = {}
         for name, stats in tracker.phases.items():
             terms = self._terms(stats.work, stats.span, stats.rounds,
-                                stats.contention, stats.cache_misses, threads)
+                                stats.contention, stats.cache_misses, threads,
+                                stats.comm_messages, stats.comm_bytes)
             terms["time"] = (terms["work"] + terms["span"] + terms["barrier"]
-                             + terms["contention"] + terms["cache"])
+                             + terms["contention"] + terms["cache"]
+                             + terms["comm"])
             phases[name] = terms
         return {
             "threads": threads,

@@ -34,7 +34,7 @@ TRACKER_CHARGE_METHODS = frozenset({
     "add_work", "add_work_int", "add_work_frac_repeated",
     "add_work_sequence", "add_span", "add_span_sequence",
     "task_span", "add_round", "add_atomic", "add_contention", "add_cliques",
-    "add_probes", "access", "access_sequence",
+    "add_probes", "add_comm", "access", "access_sequence",
 })
 
 #: Aliases that charge the same counter; summaries compare normalized names.

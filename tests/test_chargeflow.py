@@ -86,7 +86,7 @@ class TestRealTree:
             "repro.analysis.batchhier",
             "repro.baselines.batchnd", "repro.baselines.batchtruss",
             "repro.cliques.batchlist", "repro.core.batchcore",
-            "repro.core.batchpeel"]
+            "repro.core.batchpeel", "repro.distributed.batchexchange"]
         for module in engine:
             kernels = tracked_kernels(project, summaries, module)
             assert kernels, module.name

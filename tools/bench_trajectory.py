@@ -80,6 +80,12 @@ def main(argv: list[str] | None = None) -> int:
                              "wall-clock speedup the batch hierarchy "
                              "engine must reach in --engine-gate mode "
                              "(default 1.0: strictly faster)")
+    parser.add_argument("--min-comm-reduction", type=float, default=1.0,
+                        help="minimum simulated comm-time reduction "
+                             "(hash comm time / mincut comm time) every "
+                             "sharded-suite entry must reach in "
+                             "--engine-gate mode (default 1.0: mincut no "
+                             "worse than hash)")
     args = parser.parse_args(argv)
 
     # Load the baseline up front: --output may name the same file.
@@ -98,10 +104,14 @@ def main(argv: list[str] | None = None) -> int:
     payload["hierarchy"] = bench.run_hierarchy_suite(
         threads=args.threads, progress=progress, engine=args.engine,
         listing_engine=args.listing_engine)
+    payload["sharded"] = bench.run_sharded_suite(
+        threads=args.threads, progress=progress,
+        exchange_engine=args.engine)
     bench.write_payload(payload, args.output)
     print(f"wrote {len(payload['suite'])} suite entries, "
-          f"{len(payload['baselines'])} baseline entries and "
-          f"{len(payload['hierarchy'])} hierarchy entries to "
+          f"{len(payload['baselines'])} baseline entries, "
+          f"{len(payload['hierarchy'])} hierarchy entries and "
+          f"{len(payload['sharded'])} sharded entries to "
           f"{args.output}")
 
     if baseline is not None:
@@ -119,7 +129,8 @@ def main(argv: list[str] | None = None) -> int:
 
 #: Entry fields excluded from the bit-for-bit engine comparison: host
 #: wall-clock is the one thing the batch engines are *supposed* to change.
-_HOST_ONLY_FIELDS = ("wall_clock", "engine", "listing_engine")
+_HOST_ONLY_FIELDS = ("wall_clock", "engine", "listing_engine",
+                     "exchange_engine")
 
 
 def _simulated_view(entry: dict) -> dict:
@@ -134,6 +145,7 @@ _SECTION_KEYS = {
     "suite": lambda: bench.entry_key,
     "baselines": lambda: bench.baseline_entry_key,
     "hierarchy": lambda: bench.hierarchy_entry_key,
+    "sharded": lambda: bench.sharded_entry_key,
 }
 
 
@@ -182,6 +194,10 @@ def _engine_gate(args, baseline) -> int:
     batch["hierarchy"] = bench.run_hierarchy_suite(
         threads=args.threads, progress=progress, engine="batch",
         listing_engine="batch")
+    scalar["sharded"] = bench.run_sharded_suite(
+        threads=args.threads, progress=progress, exchange_engine="scalar")
+    batch["sharded"] = bench.run_sharded_suite(
+        threads=args.threads, progress=progress, exchange_engine="batch")
     bench.write_payload(scalar, args.output)
     root, ext = os.path.splitext(args.output)
     batch_path = f"{root}.batch{ext or '.json'}"
@@ -197,6 +213,8 @@ def _engine_gate(args, baseline) -> int:
                                  section="baselines")
     failures += _parity_failures(scalar, batch, "hierarchy engines",
                                  section="hierarchy")
+    failures += _parity_failures(scalar, batch, "exchange engines",
+                                 section="sharded")
     scalar_peel = _phase_wall_total(scalar, "peel")
     batch_peel = _phase_wall_total(batch, "peel")
     ratio = scalar_peel / batch_peel if batch_peel > 0 else float("inf")
@@ -237,6 +255,22 @@ def _engine_gate(args, baseline) -> int:
         failures.append(f"batch hierarchy level-sweep speedup "
                         f"x{hierarchy_ratio:.2f} below the required "
                         f"x{args.min_hierarchy_speedup:.2f}")
+    worst_reduction = float("inf")
+    for entry in batch["sharded"]:
+        reduction = entry["comm_reduction"]
+        worst_reduction = min(worst_reduction, reduction)
+        print(f"sharded {bench.sharded_entry_key(entry)}: comm time "
+              f"hash {entry['hash']['comm_time']:.0f} -> mincut "
+              f"{entry['mincut']['comm_time']:.0f} (x{reduction:.2f}), "
+              f"speedup vs 1 node x{entry['speedup']:.2f}, "
+              f"oracle match {entry['matches_oracle']}")
+        if not entry["matches_oracle"]:
+            failures.append(f"{bench.sharded_entry_key(entry)}: sharded "
+                            f"cores differ from the single-node oracle")
+        if reduction < args.min_comm_reduction:
+            failures.append(f"{bench.sharded_entry_key(entry)}: mincut "
+                            f"comm reduction x{reduction:.2f} below the "
+                            f"required x{args.min_comm_reduction:.2f}")
 
     if baseline is not None:
         for name, payload in (("scalar", scalar), ("batch", batch),
@@ -254,7 +288,8 @@ def _engine_gate(args, baseline) -> int:
           f"x{ratio:.2f} faster, batch listing count phase "
           f"x{listing_ratio:.2f} faster, batch baselines "
           f"x{baseline_ratio:.2f} faster, batch hierarchy level sweep "
-          f"x{hierarchy_ratio:.2f} faster")
+          f"x{hierarchy_ratio:.2f} faster, worst mincut comm reduction "
+          f"x{worst_reduction:.2f}")
     return 0
 
 
